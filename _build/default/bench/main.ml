@@ -1,0 +1,555 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does three things, in order:
+
+   1. Regenerates every table and figure of the paper's evaluation
+      (Tables 1-3 side by side with the published numbers, and the two
+      Figure-1 flows as executable stage traces) and verifies the
+      reproduction's shape criteria.
+   2. Runs the ablation studies DESIGN.md calls out: the DC cost-weight
+      sweep, leakage feedback on/off, GA floorplanning effort, and the
+      compact (dense LU) vs grid (sparse CG) thermal solvers.
+   3. Times the experiment kernels with Bechamel (one Test.make per table
+      plus one per Figure-1 flow, and micro-benchmarks of the hot paths).
+
+   Pass --tables-only to skip the Bechamel timing runs (CI-friendly). *)
+
+open Bechamel
+open Toolkit
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ----------------------------------------------------------------------- *)
+(* 1. Table and figure regeneration                                         *)
+(* ----------------------------------------------------------------------- *)
+
+let regenerate_tables () =
+  hr "Tables 1-3 (paper vs measured)";
+  let t0 = Unix.gettimeofday () in
+  let table1 = Core.Experiments.table1 () in
+  let table2 = Core.Experiments.table2 () in
+  let table3 = Core.Experiments.table3 () in
+  Printf.printf "all tables regenerated in %.1f s\n\n" (Unix.gettimeofday () -. t0);
+  print_string (Core.Report.table1 table1);
+  print_newline ();
+  print_string (Core.Report.table2 table2);
+  print_newline ();
+  print_string (Core.Report.table3 table3);
+  print_newline ();
+  print_string
+    (Core.Report.shape_checks
+       (Core.Experiments.shape_checks ~table1 ~table2 ~table3));
+  (table1, table2, table3)
+
+let figure1_flows () =
+  hr "Figure 1 — the two flows as executable stage traces";
+  let graph = Core.Benchmarks.load 1 in
+  let show name (o : Core.Flow.outcome) =
+    Printf.printf "%s:\n" name;
+    List.iter
+      (fun (e : Core.Flow.log_entry) ->
+        Printf.printf "  [%s] %s\n" (Core.Flow.stage_name e.Core.Flow.stage)
+          e.Core.Flow.detail)
+      o.Core.Flow.log;
+    Format.printf "  -> %a@." Core.Metrics.pp_row o.Core.Flow.row
+  in
+  show "(a) thermal-aware co-synthesis"
+    (Core.Flow.run_cosynthesis ~graph ~lib:(Core.Catalog.default_library ())
+       ~policy:Core.Policy.Thermal_aware ());
+  show "(b) thermal-aware platform-based design"
+    (Core.Flow.run_platform ~graph ~lib:(Core.Catalog.platform_library ())
+       ~policy:Core.Policy.Thermal_aware ())
+
+(* ----------------------------------------------------------------------- *)
+(* 2. Ablations                                                             *)
+(* ----------------------------------------------------------------------- *)
+
+let ablation_weight_sweep () =
+  hr "Ablation — DC cost-weight sweep (thermal policy, Bm1 platform)";
+  Printf.printf "%-12s %10s %10s %10s %10s\n" "weight/D" "makespan" "TotPow(W)"
+    "MaxT(C)" "AvgT(C)";
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let deadline = Core.Graph.deadline graph in
+  List.iter
+    (fun mult ->
+      let weights = { Core.Policy.cost_weight = mult *. deadline } in
+      let pes = Core.Catalog.platform_instances 4 in
+      let hotspot =
+        Core.Hotspot.create
+          (Core.Grid.layout
+             (Array.map
+                (fun (i : Core.Pe.inst) ->
+                  Core.Block.make ~name:(string_of_int i.Core.Pe.inst_id)
+                    ~area:i.Core.Pe.kind.Core.Pe.area ())
+                pes))
+      in
+      let s =
+        Core.List_sched.run ~weights ~hotspot ~graph ~lib ~pes
+          ~policy:Core.Policy.Thermal_aware ()
+      in
+      let row = Core.Metrics.row s ~lib ~hotspot in
+      Printf.printf "%-12.2f %10.1f %10.2f %10.2f %10.2f%s\n" mult
+        s.Core.Schedule.makespan row.Core.Metrics.total_power
+        row.Core.Metrics.max_temp row.Core.Metrics.avg_temp
+        (if s.Core.Schedule.makespan > deadline then "  (deadline MISSED)" else ""))
+    [ 0.0; 0.15; 0.4; 1.0; 2.0; 4.0; 8.0; 16.0 ];
+  Printf.printf
+    "(the adaptive ASP bisects for the strongest weight that still meets the \
+     deadline)\n"
+
+let ablation_leakage () =
+  hr "Ablation — temperature-dependent leakage feedback";
+  Printf.printf "%-8s %-10s %12s %12s\n" "bench" "policy" "MaxT w/leak" "MaxT linear";
+  let lib = Core.Catalog.platform_library () in
+  List.iter
+    (fun bench ->
+      let graph = Core.Benchmarks.load bench in
+      List.iter
+        (fun policy ->
+          let with_leak = Core.Flow.run_platform ~graph ~lib ~policy () in
+          let without = Core.Flow.run_platform ~leakage:false ~graph ~lib ~policy () in
+          Printf.printf "%-8s %-10s %12.2f %12.2f\n" (Core.Graph.name graph)
+            (Core.Policy.name policy) with_leak.Core.Flow.row.Core.Metrics.max_temp
+            without.Core.Flow.row.Core.Metrics.max_temp)
+        [ Core.Policy.Baseline; Core.Policy.Thermal_aware ])
+    [ 0; 3 ]
+
+let ablation_ga_effort () =
+  hr "Ablation — GA floorplanning effort";
+  Printf.printf "%-14s %12s %12s\n" "generations" "cost" "dead space";
+  let rng = Core.Rng.create 7 in
+  let blocks =
+    Array.init 6 (fun i ->
+        Core.Block.make ~name:(Printf.sprintf "b%d" i)
+          ~area:(Core.Rng.uniform rng 8e-6 2.5e-5)
+          ())
+  in
+  let blocks_area = Array.fold_left (fun a b -> a +. b.Core.Block.area) 0.0 blocks in
+  List.iter
+    (fun generations ->
+      let params = { Core.Ga.default_params with Core.Ga.generations } in
+      let r =
+        Core.Ga.run ~params ~seed:42 ~blocks
+          ~cost:(Core.Flow.floorplan_cost ~blocks_area)
+          ()
+      in
+      Printf.printf "%-14d %12.4f %11.1f%%\n" generations r.Core.Ga.best_cost
+        (100.0 *. Core.Placement.dead_space_ratio r.Core.Ga.best_placement))
+    [ 1; 5; 15; 60; 200 ]
+
+let ablation_solvers () =
+  hr "Ablation — compact (dense LU) vs grid (sparse CG) thermal model";
+  let placement =
+    Core.Grid.layout
+      (Array.init 4 (fun i ->
+           Core.Block.make ~name:(Printf.sprintf "PE%d" i) ~area:1.6e-5 ()))
+  in
+  let power = [| 2.0; 6.0; 1.0; 3.0 |] in
+  let compact = Core.Steady.create (Core.Rcmodel.build Core.Package.default placement) in
+  let t_compact = Core.Steady.block_temperatures compact ~power in
+  Printf.printf "%-14s %10s %10s %10s %10s\n" "model" "PE0" "PE1" "PE2" "PE3";
+  Printf.printf "%-14s %10.2f %10.2f %10.2f %10.2f\n" "compact" t_compact.(0)
+    t_compact.(1) t_compact.(2) t_compact.(3);
+  List.iter
+    (fun n ->
+      let grid = Core.Gridmodel.build ~nx:n ~ny:n Core.Package.default placement in
+      let t = Core.Gridmodel.block_temperatures grid ~power in
+      Printf.printf "%-14s %10.2f %10.2f %10.2f %10.2f\n"
+        (Printf.sprintf "grid %dx%d" n n) t.(0) t.(1) t.(2) t.(3))
+    [ 8; 16; 32 ];
+  Printf.printf "(block means agree within a couple of °C; see the timing benches)\n"
+
+let ablation_floorplanners () =
+  hr "Ablation — GA vs simulated-annealing floorplanner (same cost, same blocks)";
+  Printf.printf "%-10s %12s %14s\n" "method" "cost" "evaluations";
+  let rng = Core.Rng.create 7 in
+  let blocks =
+    Array.init 8 (fun i ->
+        Core.Block.make ~name:(Printf.sprintf "b%d" i)
+          ~area:(Core.Rng.uniform rng 6e-6 2.5e-5)
+          ())
+  in
+  let blocks_area = Array.fold_left (fun a b -> a +. b.Core.Block.area) 0.0 blocks in
+  let cost = Core.Flow.floorplan_cost ~blocks_area in
+  let ga = Core.Ga.run ~seed:42 ~blocks ~cost () in
+  let sa = Core.Sa.run ~seed:42 ~blocks ~cost () in
+  Printf.printf "%-10s %12.4f %14d\n" "GA" ga.Core.Ga.best_cost
+    (Core.Ga.default_params.Core.Ga.population
+    * Core.Ga.default_params.Core.Ga.generations);
+  Printf.printf "%-10s %12.4f %14d\n" "SA" sa.Core.Sa.best_cost sa.Core.Sa.moves_tried
+
+let ablation_mappers () =
+  hr "Ablation — constructive ASP vs HEFT vs SA mapper (makespans, 4-PE platform)";
+  Printf.printf "%-8s %10s %10s %10s %10s\n" "bench" "ASP" "HEFT" "SA" "deadline";
+  let lib = Core.Catalog.platform_library () in
+  let pes = Core.Catalog.platform_instances 4 in
+  List.iter
+    (fun bench ->
+      let graph = Core.Benchmarks.load bench in
+      let asp =
+        Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline ()
+      in
+      let heft = Core.Heft.run ~graph ~lib ~pes () in
+      let sa =
+        Core.Sa_mapper.run
+          ~params:
+            {
+              Core.Sa_mapper.initial_temperature = 30.0;
+              cooling = 0.9;
+              moves_per_temperature = 40;
+              min_temperature = 0.3;
+            }
+          ~seed:1 ~objective:Core.Sa_mapper.Makespan ~graph ~lib ~pes ()
+      in
+      Printf.printf "%-8s %10.1f %10.1f %10.1f %10.0f\n" (Core.Graph.name graph)
+        asp.Core.Schedule.makespan heft.Core.Schedule.makespan
+        sa.Core.Sa_mapper.schedule.Core.Schedule.makespan
+        (Core.Graph.deadline graph))
+    [ 0; 1; 2; 3 ]
+
+let ablation_dvs () =
+  hr "Ablation — DVS slack reclamation on top of each policy (Bm1 platform)";
+  Printf.printf "%-10s %12s %12s %14s %12s\n" "policy" "MaxT before" "MaxT after"
+    "energy saved" "makespan";
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  List.iter
+    (fun policy ->
+      let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+      let s = o.Core.Flow.schedule in
+      let plan = Core.Dvs.reclaim ~lib s in
+      let after = Core.Dvs.thermal_report plan ~hotspot:o.Core.Flow.hotspot in
+      Printf.printf "%-10s %12.2f %12.2f %13.1f%% %12.1f\n" (Core.Policy.name policy)
+        o.Core.Flow.row.Core.Metrics.max_temp after.Core.Metrics.max_temp
+        (100.0 *. Core.Dvs.energy_saving_ratio plan)
+        plan.Core.Dvs.makespan)
+    Core.Policy.all;
+  Printf.printf
+    "(the thermal ASP already spent the slack, so DVS has little left to reclaim)\n"
+
+let ablation_bus () =
+  hr "Ablation — communication models: free bus, contended bus, 2x2 mesh NoC";
+  Printf.printf "%-8s %14s %12s %12s %12s\n" "bench" "free makespan" "bus makespan"
+    "bus util" "mesh mksp";
+  let lib = Core.Catalog.platform_library () in
+  let mesh_lib =
+    Core.Library.generate ~seed:77
+      ~n_task_types:Core.Benchmarks.n_task_types
+      ~kinds:[ Core.Catalog.platform_kind () ]
+      ~comm:(Core.Comm.mesh ~cols:2 ~per_hop_delay:8.0 ())
+      ()
+  in
+  let pes = Core.Catalog.platform_instances 4 in
+  List.iter
+    (fun bench ->
+      let graph = Core.Benchmarks.load bench in
+      let free =
+        Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline ()
+      in
+      let bus = Core.Bus_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline () in
+      let mesh =
+        Core.List_sched.run ~graph ~lib:mesh_lib ~pes ~policy:Core.Policy.Baseline ()
+      in
+      Printf.printf "%-8s %14.1f %12.1f %11.1f%% %12.1f\n" (Core.Graph.name graph)
+        free.Core.Schedule.makespan
+        bus.Core.Bus_sched.schedule.Core.Schedule.makespan
+        (100.0 *. Core.Bus_sched.bus_utilization bus)
+        mesh.Core.Schedule.makespan)
+    [ 0; 1; 2; 3 ]
+
+let ablation_stack () =
+  hr "Ablation — compact model vs multi-layer die/TIM/spreader stack";
+  let placement =
+    Core.Grid.layout
+      (Array.init 4 (fun i ->
+           Core.Block.make ~name:(Printf.sprintf "PE%d" i) ~area:1.6e-5 ()))
+  in
+  let power = [| 2.0; 6.0; 1.0; 3.0 |] in
+  let compact = Core.Steady.create (Core.Rcmodel.build Core.Package.default placement) in
+  let stack = Core.Stack.build placement in
+  let t_c = Core.Steady.block_temperatures compact ~power in
+  let t_die, t_tim, t_spr = Core.Stack.layer_temperatures stack ~power in
+  Printf.printf "%-16s %10s %10s %10s %10s\n" "layer" "PE0" "PE1" "PE2" "PE3";
+  let line name t =
+    Printf.printf "%-16s %10.2f %10.2f %10.2f %10.2f\n" name t.(0) t.(1) t.(2) t.(3)
+  in
+  line "compact (die)" t_c;
+  line "stack die" t_die;
+  line "stack TIM" t_tim;
+  line "stack spreader" t_spr
+
+let ablation_clustering () =
+  hr "Ablation — linear task clustering before scheduling";
+  Printf.printf "%-8s %9s %12s %12s %12s %12s\n" "bench" "clusters" "mksp plain"
+    "mksp clust" "comm plain" "comm clust";
+  let lib = Core.Catalog.platform_library () in
+  let pes = Core.Catalog.platform_instances 4 in
+  List.iter
+    (fun bench ->
+      let graph = Core.Benchmarks.load bench in
+      let c = Core.Cluster.linear ~threshold:60.0 graph in
+      let clib =
+        Core.Library.aggregate lib ~member_types:(Core.Cluster.member_types c graph)
+      in
+      let plain =
+        Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline ()
+      in
+      let clustered =
+        Core.List_sched.run ~graph:c.Core.Cluster.clustered ~lib:clib ~pes
+          ~policy:Core.Policy.Baseline ()
+      in
+      Printf.printf "%-8s %4d/%-4d %12.1f %12.1f %12.1f %12.1f\n"
+        (Core.Graph.name graph)
+        (Core.Graph.n_tasks c.Core.Cluster.clustered)
+        (Core.Graph.n_tasks graph) plain.Core.Schedule.makespan
+        clustered.Core.Schedule.makespan
+        (Core.Metrics.total_comm_energy plain ~lib)
+        (Core.Metrics.total_comm_energy clustered ~lib:clib))
+    [ 0; 1; 2; 3 ];
+  Printf.printf
+    "(fusing heavy edges removes bus traffic but serializes the fused chains)\n"
+
+let ablation_refinement () =
+  hr "Ablation — floorplan <-> schedule refinement rounds (thermal cosynth)";
+  Printf.printf "%-8s %10s %10s %10s\n" "bench" "1 round" "2 rounds" "3 rounds";
+  let lib = Core.Catalog.default_library () in
+  List.iter
+    (fun bench ->
+      let graph = Core.Benchmarks.load bench in
+      let peak rounds =
+        (Core.Flow.run_cosynthesis ~refine_rounds:rounds ~graph ~lib
+           ~policy:Core.Policy.Thermal_aware ())
+          .Core.Flow.row
+          .Core.Metrics.max_temp
+      in
+      Printf.printf "%-8s %10.2f %10.2f %10.2f\n" (Core.Graph.name graph) (peak 1)
+        (peak 2) (peak 3))
+    [ 0; 1 ];
+  Printf.printf
+    "(round 2 re-floorplans under the policy schedule's own powers)\n"
+
+let ablation_dtm () =
+  hr "Ablation — runtime DTM throttling vs design-time policy (Bm1, warmed up)";
+  Printf.printf "%-10s %12s %12s %12s %10s\n" "policy" "static" "simulated"
+    "throttled" "deadline";
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let params =
+    { Core.Dtm.default_params with Core.Dtm.trigger = 90.0; passes = 150 }
+  in
+  List.iter
+    (fun policy ->
+      let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+      let r = Core.Dtm.simulate ~params ~lib ~hotspot:o.Core.Flow.hotspot
+          o.Core.Flow.schedule in
+      Printf.printf "%-10s %12.1f %12.1f %11.1f%% %10s\n" (Core.Policy.name policy)
+        o.Core.Flow.schedule.Core.Schedule.makespan r.Core.Dtm.makespan
+        (100.0 *. r.Core.Dtm.throttled_fraction)
+        (if r.Core.Dtm.meets_deadline then "met" else "MISSED"))
+    Core.Policy.all;
+  Printf.printf
+    "(the thermal-aware schedule needs the least runtime intervention)\n"
+
+let ablation_montecarlo () =
+  hr "Ablation — Monte-Carlo execution-time variation (Bm1, 200 runs)";
+  Printf.printf "%-10s %10s %10s %10s %10s %12s\n" "policy" "WCET mksp" "mean"
+    "p95" "peak °C" "miss rate";
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  List.iter
+    (fun policy ->
+      let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+      let r =
+        Core.Montecarlo.analyze ~seed:11 ~lib ~hotspot:o.Core.Flow.hotspot
+          o.Core.Flow.schedule
+      in
+      Printf.printf "%-10s %10.1f %10.1f %10.1f %10.2f %11.1f%%\n"
+        (Core.Policy.name policy) o.Core.Flow.schedule.Core.Schedule.makespan
+        r.Core.Montecarlo.makespan_mean r.Core.Montecarlo.makespan_p95
+        r.Core.Montecarlo.peak_temp_mean
+        (100.0 *. r.Core.Montecarlo.deadline_miss_rate))
+    Core.Policy.all;
+  Printf.printf
+    "(actuals drawn uniformly from [0.6, 1.0] x WCET; mapping and order kept)\n"
+
+let design_space_exploration () =
+  hr "Design-space exploration — cost vs peak temperature (Bm1, co-synthesis)";
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.default_library () in
+  let points = Core.Pareto.explore ~graph ~lib () in
+  Format.printf "%a@." Core.Pareto.pp_points points;
+  Format.printf "Pareto frontier:@.%a@." Core.Pareto.pp_points
+    (Core.Pareto.frontier points)
+
+(* ----------------------------------------------------------------------- *)
+(* 3. Bechamel timing benches                                               *)
+(* ----------------------------------------------------------------------- *)
+
+let platform_hotspot () =
+  Core.Hotspot.create
+    (Core.Grid.layout
+       (Array.init 4 (fun i ->
+            Core.Block.make ~name:(Printf.sprintf "PE%d" i) ~area:1.6e-5 ())))
+
+let timing_tests () =
+  let platform_lib = Core.Catalog.platform_library () in
+  let hetero_lib = Core.Catalog.default_library () in
+  let bm1 = Core.Benchmarks.load 0 in
+  let hotspot = platform_hotspot () in
+  let steady = Core.Hotspot.solver hotspot in
+  let power = [| 2.0; 6.0; 1.0; 3.0 |] in
+  let grid32 =
+    Core.Gridmodel.build ~nx:32 ~ny:32 Core.Package.default
+      (Core.Hotspot.placement hotspot)
+  in
+  let pes = Core.Catalog.platform_instances 4 in
+  let rng = Core.Rng.create 7 in
+  let ga_blocks =
+    Array.init 6 (fun i ->
+        Core.Block.make ~name:(Printf.sprintf "b%d" i)
+          ~area:(Core.Rng.uniform rng 8e-6 2.5e-5)
+          ())
+  in
+  let ga_area = Array.fold_left (fun a b -> a +. b.Core.Block.area) 0.0 ga_blocks in
+  [
+    (* One experiment kernel per table: a representative cell each. *)
+    Test.make ~name:"table1-cell (Bm1 cosynth h3)"
+      (Staged.stage (fun () ->
+           Core.Experiments.run_one ~arch:Core.Experiments.Cosynthesis
+             ~policy:(Core.Policy.Power_aware Core.Policy.Min_task_energy) ~bench:0));
+    Test.make ~name:"table2-cell (Bm1 cosynth thermal)"
+      (Staged.stage (fun () ->
+           Core.Experiments.run_one ~arch:Core.Experiments.Cosynthesis
+             ~policy:Core.Policy.Thermal_aware ~bench:0));
+    Test.make ~name:"table3-cell (Bm1 platform thermal)"
+      (Staged.stage (fun () ->
+           Core.Experiments.run_one ~arch:Core.Experiments.Platform
+             ~policy:Core.Policy.Thermal_aware ~bench:0));
+    (* Figure-1 flows. *)
+    Test.make ~name:"figure1a (cosynthesis flow)"
+      (Staged.stage (fun () ->
+           Core.Flow.run_cosynthesis ~graph:bm1 ~lib:hetero_lib
+             ~policy:Core.Policy.Baseline ()));
+    Test.make ~name:"figure1b (platform flow)"
+      (Staged.stage (fun () ->
+           Core.Flow.run_platform ~graph:bm1 ~lib:platform_lib
+             ~policy:Core.Policy.Baseline ()));
+    (* Micro-benchmarks of the hot paths. *)
+    Test.make ~name:"steady solve (6-node back-substitution)"
+      (Staged.stage (fun () -> Core.Steady.block_temperatures steady ~power));
+    Test.make ~name:"leakage fixed point"
+      (Staged.stage (fun () ->
+           Core.Steady.solve_with_leakage steady ~dynamic:power
+             ~idle:[| 0.6; 0.6; 0.6; 0.6 |]));
+    Test.make ~name:"grid CG solve (32x32)"
+      (Staged.stage (fun () -> Core.Gridmodel.block_temperatures grid32 ~power));
+    Test.make ~name:"ASP baseline (Bm1, 4 PEs)"
+      (Staged.stage (fun () ->
+           Core.List_sched.run ~graph:bm1 ~lib:platform_lib ~pes
+             ~policy:Core.Policy.Baseline ()));
+    Test.make ~name:"ASP thermal (Bm1, 4 PEs, inquiries)"
+      (Staged.stage (fun () ->
+           Core.List_sched.run ~hotspot ~graph:bm1 ~lib:platform_lib ~pes
+             ~policy:Core.Policy.Thermal_aware ()));
+    Test.make ~name:"GA floorplan (pop 24, 10 generations)"
+      (Staged.stage (fun () ->
+           Core.Ga.run
+             ~params:{ Core.Ga.default_params with Core.Ga.generations = 10 }
+             ~seed:42 ~blocks:ga_blocks
+             ~cost:(Core.Flow.floorplan_cost ~blocks_area:ga_area)
+             ()));
+    Test.make ~name:"SA floorplan (default schedule)"
+      (Staged.stage (fun () ->
+           Core.Sa.run ~seed:42 ~blocks:ga_blocks
+             ~cost:(Core.Flow.floorplan_cost ~blocks_area:ga_area)
+             ()));
+    Test.make ~name:"HEFT (Bm1, 4 PEs)"
+      (Staged.stage (fun () -> Core.Heft.run ~graph:bm1 ~lib:platform_lib ~pes ()));
+    Test.make ~name:"DVS reclaim (Bm1 baseline)"
+      (Staged.stage
+         (let s =
+            Core.List_sched.run ~graph:bm1 ~lib:platform_lib ~pes
+              ~policy:Core.Policy.Baseline ()
+          in
+          fun () -> Core.Dvs.reclaim ~lib:platform_lib s));
+    Test.make ~name:"bus-contention ASP (Bm1, 4 PEs)"
+      (Staged.stage (fun () ->
+           Core.Bus_sched.run ~graph:bm1 ~lib:platform_lib ~pes
+             ~policy:Core.Policy.Baseline ()));
+    Test.make ~name:"stack solve (13-node)"
+      (Staged.stage
+         (let stack = Core.Stack.build (Core.Hotspot.placement hotspot) in
+          fun () -> Core.Stack.block_temperatures stack ~power));
+    Test.make ~name:"DTM simulate (Bm1, 10 passes)"
+      (Staged.stage
+         (let s =
+            Core.List_sched.run ~graph:bm1 ~lib:platform_lib ~pes
+              ~policy:Core.Policy.Baseline ()
+          in
+          let params = { Core.Dtm.default_params with Core.Dtm.passes = 10 } in
+          fun () -> Core.Dtm.simulate ~params ~lib:platform_lib ~hotspot s));
+    Test.make ~name:"Monte-Carlo (Bm1, 50 runs)"
+      (Staged.stage
+         (let s =
+            Core.List_sched.run ~graph:bm1 ~lib:platform_lib ~pes
+              ~policy:Core.Policy.Baseline ()
+          in
+          fun () ->
+            Core.Montecarlo.analyze ~runs:50 ~seed:1 ~lib:platform_lib ~hotspot s));
+    Test.make ~name:"linear clustering (Bm4)"
+      (Staged.stage
+         (let g = Core.Benchmarks.load 3 in
+          fun () -> Core.Cluster.linear ~threshold:60.0 g));
+  ]
+
+let run_timings () =
+  hr "Bechamel timings (one kernel per table/figure + hot paths)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-42s %14s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let nanos =
+            match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan
+          in
+          let pretty =
+            if nanos > 1e9 then Printf.sprintf "%8.2f  s" (nanos /. 1e9)
+            else if nanos > 1e6 then Printf.sprintf "%8.2f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%8.2f us" (nanos /. 1e3)
+            else Printf.sprintf "%8.0f ns" nanos
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with Some r -> r | None -> nan
+          in
+          Printf.printf "%-42s %14s %10.4f\n%!" (Test.Elt.name elt) pretty r2)
+        (Test.elements test))
+    (timing_tests ())
+
+let () =
+  let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
+  let _tables = regenerate_tables () in
+  figure1_flows ();
+  ablation_weight_sweep ();
+  ablation_leakage ();
+  ablation_ga_effort ();
+  ablation_solvers ();
+  ablation_floorplanners ();
+  ablation_mappers ();
+  ablation_dvs ();
+  ablation_bus ();
+  ablation_stack ();
+  ablation_clustering ();
+  ablation_refinement ();
+  ablation_dtm ();
+  ablation_montecarlo ();
+  design_space_exploration ();
+  if not tables_only then run_timings ();
+  print_newline ()

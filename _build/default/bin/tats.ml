@@ -1,0 +1,500 @@
+(* tats — command-line interface to the thermal-aware task allocation and
+   scheduling library.
+
+   Subcommands regenerate the paper's tables, run single scheduling
+   experiments, inspect the thermal model and the floorplanner, and export
+   task graphs.  `tats <cmd> --help` documents each one. *)
+
+open Cmdliner
+
+(* --- shared arguments --------------------------------------------------- *)
+
+let bench_arg =
+  let doc = "Benchmark: Bm1, Bm2, Bm3 or Bm4 (the paper's suite)." in
+  Arg.(value & opt string "Bm1" & info [ "b"; "bench" ] ~docv:"BM" ~doc)
+
+let policy_arg =
+  let doc = "Policy: baseline, h1, h2, h3 or thermal." in
+  Arg.(value & opt string "thermal" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let arch_arg =
+  let doc = "Architecture: platform (4 identical PEs) or cosynth." in
+  Arg.(value & opt string "platform" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of the formatted table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let parse_bench name =
+  match name with
+  | "Bm1" -> Ok 0
+  | "Bm2" -> Ok 1
+  | "Bm3" -> Ok 2
+  | "Bm4" -> Ok 3
+  | other -> Error (Printf.sprintf "unknown benchmark %S (want Bm1..Bm4)" other)
+
+let parse_policy name =
+  match Core.Policy.of_name name with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "unknown policy %S" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("tats: " ^ msg);
+      exit 2
+
+(* --- table commands ----------------------------------------------------- *)
+
+let table1_cmd =
+  let run csv =
+    let rows = Core.Experiments.table1 () in
+    print_string
+      (if csv then Core.Report.table1_csv rows else Core.Report.table1 rows)
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Regenerate Table 1 (power heuristics on both architectures).")
+    Term.(const run $ csv_arg)
+
+let versus_cmd name doc compute render render_csv =
+  let run csv =
+    let rows = compute () in
+    print_string (if csv then render_csv rows else render rows)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_arg)
+
+let table2_cmd =
+  versus_cmd "table2"
+    "Regenerate Table 2 (power vs thermal, co-synthesis architecture)."
+    Core.Experiments.table2 Core.Report.table2 Core.Report.versus_csv
+
+let table3_cmd =
+  versus_cmd "table3"
+    "Regenerate Table 3 (power vs thermal, platform architecture)."
+    Core.Experiments.table3 Core.Report.table3 Core.Report.versus_csv
+
+let checks_cmd =
+  let run () =
+    let table1 = Core.Experiments.table1 () in
+    let table2 = Core.Experiments.table2 () in
+    let table3 = Core.Experiments.table3 () in
+    let checks = Core.Experiments.shape_checks ~table1 ~table2 ~table3 in
+    print_string (Core.Report.shape_checks checks);
+    if List.for_all (fun c -> c.Core.Experiments.holds) checks then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "checks"
+       ~doc:"Run every table and verify the reproduction's shape criteria.")
+    Term.(const run $ const ())
+
+(* --- schedule ----------------------------------------------------------- *)
+
+let schedule_cmd =
+  let run bench policy arch gantt svg floorplan_svg =
+    let bench = or_die (parse_bench bench) in
+    let policy = or_die (parse_policy policy) in
+    let graph = Core.Benchmarks.load bench in
+    let outcome =
+      match arch with
+      | "platform" ->
+          Core.Flow.run_platform ~graph ~lib:(Core.Catalog.platform_library ()) ~policy ()
+      | "cosynth" ->
+          Core.Flow.run_cosynthesis ~graph ~lib:(Core.Catalog.default_library ())
+            ~policy ()
+      | other -> or_die (Error (Printf.sprintf "unknown architecture %S" other))
+    in
+    List.iter
+      (fun (e : Core.Flow.log_entry) ->
+        Format.printf "[%s] %s@." (Core.Flow.stage_name e.Core.Flow.stage)
+          e.Core.Flow.detail)
+      outcome.Core.Flow.log;
+    Format.printf "%a@." Core.Metrics.pp_row outcome.Core.Flow.row;
+    let report = outcome.Core.Flow.report in
+    Array.iteri
+      (fun pe t -> Format.printf "PE%d: %.2f W -> %.2f °C@." pe
+          report.Core.Metrics.pe_powers.(pe) t)
+      report.Core.Metrics.block_temps;
+    if gantt then Format.printf "%a@." Core.Schedule.pp outcome.Core.Flow.schedule;
+    (match svg with
+    | Some path ->
+        Core.Visuals.save (Core.Visuals.gantt outcome.Core.Flow.schedule) ~path;
+        Format.printf "wrote Gantt chart to %s@." path
+    | None -> ());
+    match floorplan_svg with
+    | Some path ->
+        Core.Visuals.save
+          (Core.Visuals.floorplan
+             ~temps:outcome.Core.Flow.report.Core.Metrics.block_temps
+             outcome.Core.Flow.placement)
+          ~path;
+        Format.printf "wrote thermal floorplan to %s@." path
+    | None -> ()
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Also print the per-PE schedule.")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write a Gantt chart SVG.")
+  in
+  let fp_svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "floorplan-svg" ] ~docv:"FILE"
+             ~doc:"Write the temperature-annotated floorplan SVG.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run one benchmark/policy/architecture combination.")
+    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ svg_arg
+          $ fp_svg_arg)
+
+(* --- thermal ------------------------------------------------------------ *)
+
+let thermal_cmd =
+  let run n_pes powers grid svg =
+    let power =
+      match powers with
+      | [] -> Array.make n_pes 4.0
+      | l ->
+          if List.length l <> n_pes then
+            or_die (Error "need exactly one --power per PE")
+          else Array.of_list l
+    in
+    let blocks =
+      Array.init n_pes (fun i ->
+          Core.Block.make ~name:(Printf.sprintf "PE%d" i) ~area:1.6e-5 ())
+    in
+    let placement = Core.Grid.layout blocks in
+    let hotspot = Core.Hotspot.create placement in
+    let temps = Core.Hotspot.query hotspot ~power in
+    Format.printf "steady-state block temperatures (°C):@.";
+    Array.iteri (fun i t -> Format.printf "  PE%d: %6.2f W -> %7.2f °C@." i power.(i) t) temps;
+    Format.printf "peak %.2f, average %.2f@."
+      (Core.Stats.max temps) (Core.Stats.mean temps);
+    if grid then begin
+      let gm = Core.Gridmodel.build ~nx:24 ~ny:24 Core.Package.default placement in
+      let cells = Core.Gridmodel.cell_temperatures gm ~power in
+      let lo = Core.Stats.min (Array.concat (Array.to_list cells)) in
+      let hi = Core.Gridmodel.max_cell_temperature gm ~power in
+      Format.printf "@.grid-mode heat map (%.1f..%.1f °C):@." lo hi;
+      let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun t ->
+              let f = (t -. lo) /. Float.max (hi -. lo) 1e-9 in
+              let k = Stdlib.min 9 (int_of_float (f *. 10.0)) in
+              print_char shades.(k))
+            row;
+          print_newline ())
+        cells
+    end;
+    match svg with
+    | Some path ->
+        let gm = Core.Gridmodel.build ~nx:24 ~ny:24 Core.Package.default placement in
+        Core.Visuals.save (Core.Visuals.heat_map gm ~power) ~path;
+        Format.printf "wrote heat map to %s@." path
+    | None -> ()
+  in
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n"; "pes" ] ~docv:"N" ~doc:"Number of PE blocks.")
+  in
+  let power_arg =
+    Arg.(value & opt_all float [] & info [ "power" ] ~docv:"W" ~doc:"Per-PE power (repeat).")
+  in
+  let grid_arg =
+    Arg.(value & flag & info [ "grid" ] ~doc:"Also render the grid-mode heat map.")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write a heat-map SVG (24x24 grid).")
+  in
+  Cmd.v
+    (Cmd.info "thermal" ~doc:"Query the HotSpot-style thermal model directly.")
+    Term.(const run $ n_arg $ power_arg $ grid_arg $ svg_arg)
+
+(* --- floorplan ---------------------------------------------------------- *)
+
+let floorplan_cmd =
+  let run n seed svg =
+    let rng = Core.Rng.create seed in
+    let blocks =
+      Array.init n (fun i ->
+          Core.Block.make ~name:(Printf.sprintf "b%d" i)
+            ~area:(Core.Rng.uniform rng 4e-6 2.5e-5)
+            ())
+    in
+    let blocks_area = Array.fold_left (fun a b -> a +. b.Core.Block.area) 0.0 blocks in
+    let result =
+      Core.Ga.run ~seed ~blocks
+        ~cost:(Core.Flow.floorplan_cost ~blocks_area)
+        ()
+    in
+    Format.printf "best cost %.4f after %d generations@." result.Core.Ga.best_cost
+      (Array.length result.Core.Ga.history);
+    Format.printf "%a@." Core.Placement.pp result.Core.Ga.best_placement;
+    Format.printf "dead space: %.1f%%@."
+      (100.0 *. Core.Placement.dead_space_ratio result.Core.Ga.best_placement);
+    match svg with
+    | Some path ->
+        Core.Visuals.save (Core.Visuals.floorplan result.Core.Ga.best_placement) ~path;
+        Format.printf "wrote floorplan to %s@." path
+    | None -> ()
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write the floorplan SVG.")
+  in
+  let n_arg =
+    Arg.(value & opt int 6 & info [ "n"; "blocks" ] ~docv:"N" ~doc:"Number of blocks.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"GA random seed.")
+  in
+  Cmd.v
+    (Cmd.info "floorplan" ~doc:"Run the GA floorplanner on random blocks.")
+    Term.(const run $ n_arg $ seed_arg $ svg_arg)
+
+(* --- compare ------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run bench =
+    let bench = or_die (parse_bench bench) in
+    let graph = Core.Benchmarks.load bench in
+    let lib = Core.Catalog.platform_library () in
+    let pes = Core.Catalog.platform_instances 4 in
+    let asp = Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline () in
+    let heft = Core.Heft.run ~graph ~lib ~pes () in
+    let sa =
+      Core.Sa_mapper.run ~seed:1 ~objective:Core.Sa_mapper.Makespan ~graph ~lib ~pes ()
+    in
+    Format.printf "%-22s %12s@." "scheduler" "makespan";
+    Format.printf "%-22s %12.1f@." "ASP (list, baseline)" asp.Core.Schedule.makespan;
+    Format.printf "%-22s %12.1f@." "HEFT (insertion)" heft.Core.Schedule.makespan;
+    Format.printf "%-22s %12.1f@." "SA mapper"
+      sa.Core.Sa_mapper.schedule.Core.Schedule.makespan;
+    Format.printf "%-22s %12.0f@." "deadline" (Core.Graph.deadline graph)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare the ASP against HEFT and the SA mapper.")
+    Term.(const run $ bench_arg)
+
+(* --- dvs ---------------------------------------------------------------- *)
+
+let dvs_cmd =
+  let run bench policy =
+    let bench = or_die (parse_bench bench) in
+    let policy = or_die (parse_policy policy) in
+    let graph = Core.Benchmarks.load bench in
+    let lib = Core.Catalog.platform_library () in
+    let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+    let plan = Core.Dvs.reclaim ~lib o.Core.Flow.schedule in
+    let after = Core.Dvs.thermal_report plan ~hotspot:o.Core.Flow.hotspot in
+    Format.printf "policy %s on %s:@." (Core.Policy.name policy) (Core.Graph.name graph);
+    Format.printf "  energy: %.1f J -> %.1f J (%.1f%% saved)@."
+      (Core.Metrics.total_task_energy o.Core.Flow.schedule)
+      (Core.Dvs.total_energy plan)
+      (100.0 *. Core.Dvs.energy_saving_ratio plan);
+    Format.printf "  peak temperature: %.2f °C -> %.2f °C@."
+      o.Core.Flow.row.Core.Metrics.max_temp after.Core.Metrics.max_temp;
+    Format.printf "  makespan: %.1f -> %.1f (deadline %.0f)@."
+      o.Core.Flow.schedule.Core.Schedule.makespan plan.Core.Dvs.makespan
+      (Core.Graph.deadline graph);
+    match Core.Dvs.validate plan ~lib with
+    | [] -> Format.printf "  plan: safe@."
+    | violations -> Format.printf "  plan: %d violations (bug)@." (List.length violations)
+  in
+  Cmd.v
+    (Cmd.info "dvs" ~doc:"Apply DVS slack reclamation on top of a platform schedule.")
+    Term.(const run $ bench_arg $ policy_arg)
+
+(* --- pareto ------------------------------------------------------------- *)
+
+let pareto_cmd =
+  let run bench =
+    let bench = or_die (parse_bench bench) in
+    let graph = Core.Benchmarks.load bench in
+    let lib = Core.Catalog.default_library () in
+    let points = Core.Pareto.explore ~graph ~lib () in
+    Format.printf "all design points:@.%a@." Core.Pareto.pp_points points;
+    Format.printf "Pareto frontier (cost vs peak temperature):@.%a@."
+      Core.Pareto.pp_points (Core.Pareto.frontier points)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Explore the cost/temperature design space via repeated co-synthesis.")
+    Term.(const run $ bench_arg)
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run bench =
+    let bench = or_die (parse_bench bench) in
+    let graph = Core.Benchmarks.load bench in
+    Format.printf "%s:@.%a@." (Core.Graph.name graph) Core.Analysis.pp
+      (Core.Analysis.analyze graph)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Structural statistics of a benchmark task graph.")
+    Term.(const run $ bench_arg)
+
+(* --- dtm ---------------------------------------------------------------- *)
+
+let dtm_cmd' =
+  let run bench trigger passes =
+    let bench = or_die (parse_bench bench) in
+    let graph = Core.Benchmarks.load bench in
+    let lib = Core.Catalog.platform_library () in
+    Format.printf "%-10s %10s %12s %12s %10s %10s@." "policy" "static" "simulated"
+      "throttled" "peak °C" "deadline";
+    List.iter
+      (fun policy ->
+        let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+        let params = { Core.Dtm.default_params with Core.Dtm.trigger; passes } in
+        let r =
+          Core.Dtm.simulate ~params ~lib ~hotspot:o.Core.Flow.hotspot
+            o.Core.Flow.schedule
+        in
+        Format.printf "%-10s %10.1f %12.1f %11.1f%% %10.2f %10s@."
+          (Core.Policy.name policy)
+          o.Core.Flow.schedule.Core.Schedule.makespan r.Core.Dtm.makespan
+          (100.0 *. r.Core.Dtm.throttled_fraction)
+          r.Core.Dtm.peak_temperature
+          (if r.Core.Dtm.meets_deadline then "met" else "MISSED"))
+      Core.Policy.all
+  in
+  let trigger_arg =
+    Arg.(value & opt float 90.0
+         & info [ "trigger" ] ~docv:"C" ~doc:"Throttle threshold, °C.")
+  in
+  let passes_arg =
+    Arg.(value & opt int 150
+         & info [ "passes" ] ~docv:"N" ~doc:"Warm-up executions of the schedule.")
+  in
+  Cmd.v
+    (Cmd.info "dtm-sim"
+       ~doc:"Simulate runtime dynamic thermal management over each policy.")
+    Term.(const run $ bench_arg $ trigger_arg $ passes_arg)
+
+(* --- robustness ----------------------------------------------------------- *)
+
+let robustness_cmd =
+  let run n tasks seed =
+    let r = Core.Experiments.robustness ~n ~tasks ~seed () in
+    Format.printf
+      "random graphs: %d (x%d tasks)@.thermal beats power-aware on max temp: \
+       %d/%d; on avg temp: %d/%d@.mean reduction: %.2f °C max / %.2f °C avg@."
+      r.Core.Experiments.n_graphs tasks r.Core.Experiments.wins_max
+      r.Core.Experiments.n_graphs r.Core.Experiments.wins_avg
+      r.Core.Experiments.n_graphs
+      r.Core.Experiments.mean_reduction.Core.Experiments.d_max_temp
+      r.Core.Experiments.mean_reduction.Core.Experiments.d_avg_temp
+  in
+  let n_arg =
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"Number of random graphs.")
+  in
+  let tasks_arg =
+    Arg.(value & opt int 30 & info [ "tasks" ] ~docv:"T" ~doc:"Tasks per graph.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Compare thermal vs power-aware on fresh random workloads.")
+    Term.(const run $ n_arg $ tasks_arg $ seed_arg)
+
+(* --- artifacts ------------------------------------------------------------ *)
+
+let artifacts_cmd =
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name contents =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents);
+      Format.printf "wrote %s@." path
+    in
+    let table1 = Core.Experiments.table1 () in
+    let table2 = Core.Experiments.table2 () in
+    let table3 = Core.Experiments.table3 () in
+    write "table1.txt" (Core.Report.table1 table1);
+    write "table2.txt" (Core.Report.table2 table2);
+    write "table3.txt" (Core.Report.table3 table3);
+    write "table1.csv" (Core.Report.table1_csv table1);
+    write "table2.csv" (Core.Report.versus_csv table2);
+    write "table3.csv" (Core.Report.versus_csv table3);
+    write "table1.md" (Core.Report.table1_markdown table1);
+    write "table2.md"
+      (Core.Report.versus_markdown
+         ~title:"Table 2 — power vs thermal, co-synthesis architecture"
+         ~paper:Core.Paper_data.table2 table2);
+    write "table3.md"
+      (Core.Report.versus_markdown
+         ~title:"Table 3 — power vs thermal, platform architecture"
+         ~paper:Core.Paper_data.table3 table3);
+    write "checks.txt"
+      (Core.Report.shape_checks
+         (Core.Experiments.shape_checks ~table1 ~table2 ~table3));
+    (* One SVG set per benchmark: thermal-aware platform run. *)
+    let lib = Core.Catalog.platform_library () in
+    List.iter
+      (fun bench ->
+        let graph = Core.Benchmarks.load bench in
+        let name = Core.Graph.name graph in
+        let o = Core.Flow.run_platform ~graph ~lib ~policy:Core.Policy.Thermal_aware () in
+        write
+          (Printf.sprintf "%s_gantt.svg" name)
+          (Core.Visuals.gantt o.Core.Flow.schedule);
+        write
+          (Printf.sprintf "%s_floorplan.svg" name)
+          (Core.Visuals.floorplan
+             ~temps:o.Core.Flow.report.Core.Metrics.block_temps
+             o.Core.Flow.placement);
+        write (Printf.sprintf "%s.dot" name) (Core.Dot.to_dot graph);
+        write (Printf.sprintf "%s.tgff" name) (Core.Tgff_io.to_string graph))
+      [ 0; 1; 2; 3 ]
+  in
+  let dir_arg =
+    Arg.(value & opt string "artifacts"
+         & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "artifacts"
+       ~doc:"Regenerate the full experiment artifact set (tables, CSV, \
+             markdown, SVG, DOT, TGFF) into a directory.")
+    Term.(const run $ dir_arg)
+
+(* --- export ------------------------------------------------------------- *)
+
+let export_cmd =
+  let run bench path =
+    let bench = or_die (parse_bench bench) in
+    let graph = Core.Benchmarks.load bench in
+    Core.Dot.save graph path;
+    Format.printf "wrote %s (%d tasks, %d edges)@." path (Core.Graph.n_tasks graph)
+      (Core.Graph.n_edges graph)
+  in
+  let path_arg =
+    Arg.(value & opt string "graph.dot" & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a benchmark task graph as Graphviz DOT.")
+    Term.(const run $ bench_arg $ path_arg)
+
+let () =
+  let info =
+    Cmd.info "tats" ~version:Core.version
+      ~doc:
+        "Thermal-aware task allocation and scheduling for embedded systems \
+         (reproduction of Hung et al., DATE 2005)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; table2_cmd; table3_cmd; checks_cmd; schedule_cmd;
+            thermal_cmd; floorplan_cmd; export_cmd; compare_cmd; dvs_cmd;
+            pareto_cmd; analyze_cmd; dtm_cmd'; robustness_cmd; artifacts_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/conditional_app.ml: Core Format List Printf String

@@ -1,0 +1,1 @@
+examples/cosynth_flow.mli:

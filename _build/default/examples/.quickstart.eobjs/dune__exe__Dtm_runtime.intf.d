@@ -1,0 +1,1 @@
+examples/dtm_runtime.mli:

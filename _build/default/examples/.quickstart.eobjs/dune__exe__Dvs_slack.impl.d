@@ -1,0 +1,1 @@
+examples/dvs_slack.ml: Array Core Format Hashtbl List Option

@@ -1,0 +1,1 @@
+examples/dvs_slack.mli:

@@ -1,0 +1,1 @@
+examples/noc_clustering.ml: Core Format List Printf

@@ -1,0 +1,1 @@
+examples/periodic_apps.ml: Array Core Format List Printf

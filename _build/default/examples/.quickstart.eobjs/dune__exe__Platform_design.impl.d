@@ -1,0 +1,1 @@
+examples/platform_design.ml: Array Core Format List Printf String

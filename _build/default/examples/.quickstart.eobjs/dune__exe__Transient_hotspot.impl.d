@@ -1,0 +1,1 @@
+examples/transient_hotspot.ml: Array Core Float Format List

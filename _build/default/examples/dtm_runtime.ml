@@ -1,0 +1,40 @@
+(* Design time meets run time: simulate dynamic thermal management (DTM,
+   the subject of the paper's reference [2]) over schedules produced by the
+   different design-time policies.
+
+   A hot design-time schedule trips the runtime throttle, which stretches
+   execution and can break the deadline that looked safe on paper; the
+   thermal-aware schedule stays below the trigger and sails through — the
+   quantitative argument for doing the work at design time.
+
+   Run with: dune exec examples/dtm_runtime.exe *)
+
+let () =
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let trigger = 90.0 in
+  Format.printf
+    "DTM: throttle to half speed above %.0f °C (hysteresis 3 °C), Bm1 on 4 PEs,@."
+    trigger;
+  Format.printf "200 back-to-back executions (thermally warmed up)@.@.";
+  Format.printf "%-10s %10s %12s %12s %10s %10s@." "policy" "static" "simulated"
+    "throttled" "peak °C" "deadline";
+  List.iter
+    (fun policy ->
+      let o = Core.Flow.run_platform ~graph ~lib ~policy () in
+      let params = { Core.Dtm.default_params with Core.Dtm.trigger; passes = 200 } in
+      let r =
+        Core.Dtm.simulate ~params ~lib ~hotspot:o.Core.Flow.hotspot
+          o.Core.Flow.schedule
+      in
+      Format.printf "%-10s %10.1f %12.1f %11.1f%% %10.2f %10s@."
+        (Core.Policy.name policy)
+        o.Core.Flow.schedule.Core.Schedule.makespan r.Core.Dtm.makespan
+        (100.0 *. r.Core.Dtm.throttled_fraction)
+        r.Core.Dtm.peak_temperature
+        (if r.Core.Dtm.meets_deadline then "met" else "MISSED"))
+    Core.Policy.all;
+  Format.printf
+    "@.The hot design-time schedules trip the runtime throttle and stretch;@.";
+  Format.printf
+    "the thermal-aware schedule stays below the trigger, so DTM leaves it alone.@."

@@ -1,0 +1,48 @@
+(* DVS slack reclamation: schedule a benchmark, then convert the remaining
+   deadline slack into lower voltage/frequency levels and compare energy and
+   temperature before/after — the classic continuation of thermal-aware
+   scheduling.
+
+   Run with: dune exec examples/dvs_slack.exe *)
+
+let () =
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let o = Core.Flow.run_platform ~graph ~lib ~policy:Core.Policy.Baseline () in
+  let s = o.Core.Flow.schedule in
+  Format.printf "Baseline schedule: makespan %.1f of deadline %.0f — %.0f slack@.@."
+    s.Core.Schedule.makespan (Core.Graph.deadline graph)
+    (Core.Graph.deadline graph -. s.Core.Schedule.makespan);
+
+  let plan = Core.Dvs.reclaim ~lib s in
+
+  (* Per-task level histogram. *)
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun (l : Core.Dvs.level) ->
+      Hashtbl.replace counts l.Core.Dvs.name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts l.Core.Dvs.name)))
+    plan.Core.Dvs.levels;
+  Format.printf "Chosen V/f levels:@.";
+  List.iter
+    (fun (l : Core.Dvs.level) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts l.Core.Dvs.name) in
+      Format.printf "  %-6s (x%.2f speed, x%.3f power): %2d tasks@." l.Core.Dvs.name
+        l.Core.Dvs.scale l.Core.Dvs.power_factor n)
+    Core.Dvs.default_levels;
+
+  let before = o.Core.Flow.report in
+  let after = Core.Dvs.thermal_report plan ~hotspot:o.Core.Flow.hotspot in
+  Format.printf "@.%-22s %12s %12s@." "" "before DVS" "after DVS";
+  Format.printf "%-22s %12.1f %12.1f@." "task energy (J)"
+    (Core.Metrics.total_task_energy s)
+    (Core.Dvs.total_energy plan);
+  Format.printf "%-22s %12.2f %12.2f@." "peak temperature (°C)"
+    before.Core.Metrics.max_temp after.Core.Metrics.max_temp;
+  Format.printf "%-22s %12.2f %12.2f@." "avg temperature (°C)"
+    before.Core.Metrics.avg_temp after.Core.Metrics.avg_temp;
+  Format.printf "%-22s %12.1f %12.1f@." "makespan" s.Core.Schedule.makespan
+    plan.Core.Dvs.makespan;
+  Format.printf "@.Energy saved: %.1f%%; the stretched plan is still safe: %s@."
+    (100.0 *. Core.Dvs.energy_saving_ratio plan)
+    (if Core.Dvs.validate plan ~lib = [] then "yes" else "NO (bug!)")

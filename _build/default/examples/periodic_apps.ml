@@ -1,0 +1,64 @@
+(* Periodic multi-application scheduling: two applications with different
+   periods share a 2-PE platform; the hyperperiod expansion schedules every
+   job instance, and the steady-state temperatures follow from the
+   hyperperiod-average power.
+
+   Run with: dune exec examples/periodic_apps.exe *)
+
+let app_of_benchmark ~bench ~period =
+  Core.Periodic.make_app ~graph:(Core.Benchmarks.load bench) ~period
+
+let () =
+  (* Bm1 (deadline 790) every 1000; a second, lighter instance of Bm1's
+     structure would be overkill, so use Bm1 at two rates via two apps. *)
+  let pipeline =
+    let b = Core.Graph.builder ~name:"sensor-pipeline" ~deadline:450.0 in
+    let sense = Core.Graph.add_task b ~name:"sense" ~task_type:6 () in
+    let fuse = Core.Graph.add_task b ~name:"fuse" ~task_type:7 () in
+    let act = Core.Graph.add_task b ~name:"act" ~task_type:8 () in
+    Core.Graph.add_edge b ~data:16.0 sense fuse;
+    Core.Graph.add_edge b ~data:16.0 fuse act;
+    Core.Periodic.make_app ~graph:(Core.Graph.build b) ~period:500.0
+  in
+  let heavy = app_of_benchmark ~bench:0 ~period:1000.0 in
+  let apps = [ pipeline; heavy ] in
+  Format.printf "hyperperiod(%.0f, %.0f) = %.0f@.@." 500.0 1000.0
+    (Core.Periodic.hyperperiod apps);
+
+  let lib = Core.Catalog.platform_library () in
+  let pes = Core.Catalog.platform_instances 4 in
+  let hotspot =
+    Core.Hotspot.create
+      (Core.Grid.layout
+         (Array.map
+            (fun (i : Core.Pe.inst) ->
+              Core.Block.make
+                ~name:(Printf.sprintf "PE%d" i.Core.Pe.inst_id)
+                ~area:i.Core.Pe.kind.Core.Pe.area ())
+            pes))
+  in
+  List.iter
+    (fun (name, policy) ->
+      let t, _ =
+        Core.Periodic.schedule_adaptive ~policy ~hotspot ~apps ~lib ~pes ()
+      in
+      let report = Core.Periodic.thermal_report t ~hotspot in
+      Format.printf "policy %-9s: %d jobs, utilization %.1f%%, avg power %.2f W@."
+        name
+        (Array.length t.Core.Periodic.entries)
+        (100.0 *. Core.Periodic.utilization t)
+        (Core.Periodic.average_power t);
+      Format.printf "  deadlines %s; temps: %.2f °C max, %.2f °C avg@."
+        (if Core.Periodic.meets_all_deadlines t then "all met" else "MISSED")
+        report.Core.Metrics.max_temp report.Core.Metrics.avg_temp)
+    [
+      ("baseline", Core.Policy.Baseline);
+      ("thermal", Core.Policy.Thermal_aware);
+    ];
+  Format.printf
+    "@.Each pipeline instance releases at k x 500 and must finish 450 later;@.";
+  Format.printf "the heavy app interleaves at half the rate on the same PEs.@.";
+  Format.printf
+    "With the hyperperiod fixed, average power cannot be stretched away;@.";
+  Format.printf
+    "the thermal gain here comes purely from balancing energy across PEs.@."

@@ -1,0 +1,81 @@
+(* Transient thermal analysis of a real schedule: replay the per-PE power
+   profile of a scheduled benchmark through the RC network's transient
+   integrators, and compare the transient peak against the steady-state
+   estimate the tables use.
+
+   This exercises the part of HotSpot [2] the paper does not use directly
+   (the RC dynamics), and shows why the steady-state abstraction is sound
+   for its experiments: schedules repeat every hyperperiod, so temperatures
+   ride close to the steady solution of the average power.
+
+   Run with: dune exec examples/transient_hotspot.exe *)
+
+let () =
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let o = Core.Flow.run_platform ~graph ~lib ~policy:Core.Policy.Thermal_aware () in
+  let s = o.Core.Flow.schedule in
+  let hotspot = o.Core.Flow.hotspot in
+  let model = Core.Hotspot.model hotspot in
+  let n_pes = Core.Schedule.n_pes s in
+
+  (* Piecewise power profile: a PE draws its task's WCPC while the task
+     runs, plus its idle floor. One schedule time unit = 1 ms of wall
+     clock, and the schedule repeats (a periodic application). *)
+  let time_unit = 1e-3 in
+  let period = s.Core.Schedule.makespan *. time_unit in
+  let power_at wall_clock =
+    let t = Float.rem wall_clock period /. time_unit in
+    Array.init n_pes (fun pe ->
+        let idle = s.Core.Schedule.pes.(pe).Core.Pe.kind.Core.Pe.idle_power in
+        let running =
+          List.fold_left
+            (fun acc (e : Core.Schedule.entry) ->
+              if e.Core.Schedule.start <= t && t < e.Core.Schedule.finish then
+                let tt =
+                  (Core.Graph.task graph e.Core.Schedule.task).Core.Task.task_type
+                in
+                acc
+                +. Core.Library.wcpc lib ~task_type:tt
+                     ~kind:s.Core.Schedule.pes.(pe).Core.Pe.kind.Core.Pe.kind_id
+              else acc)
+            0.0
+            (Core.Schedule.tasks_on_pe s pe)
+        in
+        idle +. running)
+  in
+
+  Format.printf "Schedule: %a@." Core.Schedule.pp s;
+  Format.printf "Replaying %.0f periods of %.3f s through backward Euler...@.@."
+    300.0 period;
+
+  let t0 = Core.Transient.initial_ambient model in
+  let dt = 5e-3 in
+  let steps = int_of_float (300.0 *. period /. dt) in
+  let trace = Core.Transient.backward_euler model ~power:power_at ~t0 ~dt ~steps in
+
+  (* Transient block peaks over the last ten periods (warmed up). *)
+  let start_k = steps - int_of_float (10.0 *. period /. dt) in
+  let peak = Array.make n_pes neg_infinity in
+  for k = start_k to steps do
+    for pe = 0 to n_pes - 1 do
+      peak.(pe) <- Float.max peak.(pe) trace.Core.Transient.temps.(k).(pe)
+    done
+  done;
+
+  let steady = o.Core.Flow.report in
+  Format.printf "per-PE temperatures (°C):@.";
+  Format.printf "  PE   steady(avg power)   transient peak   ripple@.";
+  Array.iteri
+    (fun pe p ->
+      let st = steady.Core.Metrics.block_temps.(pe) in
+      Format.printf "  %d        %8.2f        %8.2f      %+6.2f@." pe st p (p -. st))
+    peak;
+
+  match
+    Core.Transient.settle_time trace
+      ~steady:trace.Core.Transient.temps.(steps)
+      ~tol:2.0
+  with
+  | Some t -> Format.printf "@.Thermal transient settles (within 2 °C) by t = %.1f s.@." t
+  | None -> Format.printf "@.Trace did not settle (unexpected).@."

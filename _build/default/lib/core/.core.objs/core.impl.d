@@ -1,0 +1,1 @@
+lib/core/core.ml: Experiments Paper_data Report Tats_cosynth Tats_floorplan Tats_linalg Tats_render Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float List Printf Stdlib Tats_cosynth Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

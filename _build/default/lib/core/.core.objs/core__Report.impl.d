@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Experiments List Paper_data Printf String Tats_sched

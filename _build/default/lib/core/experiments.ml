@@ -1,0 +1,252 @@
+module Benchmarks = Tats_taskgraph.Benchmarks
+module Catalog = Tats_techlib.Catalog
+module Policy = Tats_sched.Policy
+module Metrics = Tats_sched.Metrics
+module Flow = Tats_cosynth.Flow
+module Stats = Tats_util.Stats
+
+type cell = Metrics.row
+
+type arch = Cosynthesis | Platform
+
+let arch_name = function Cosynthesis -> "co-synthesis" | Platform -> "platform"
+
+let outcome ~arch ~policy ~bench =
+  let graph = Benchmarks.load bench in
+  match arch with
+  | Cosynthesis ->
+      Flow.run_cosynthesis ~graph ~lib:(Catalog.default_library ()) ~policy ()
+  | Platform -> Flow.run_platform ~graph ~lib:(Catalog.platform_library ()) ~policy ()
+
+let run_one ~arch ~policy ~bench = (outcome ~arch ~policy ~bench).Flow.row
+
+type table1_row = { bench : string; policy : Policy.t; cosynth : cell; platform : cell }
+
+let table1_policies =
+  [
+    Policy.Baseline;
+    Policy.Power_aware Policy.Min_task_power;
+    Policy.Power_aware Policy.Min_pe_average_power;
+    Policy.Power_aware Policy.Min_task_energy;
+  ]
+
+let table1 () =
+  List.concat_map
+    (fun bench ->
+      let name = Benchmarks.descriptors.(bench).Benchmarks.bench_name in
+      List.map
+        (fun policy ->
+          {
+            bench = name;
+            policy;
+            cosynth = run_one ~arch:Cosynthesis ~policy ~bench;
+            platform = run_one ~arch:Platform ~policy ~bench;
+          })
+        table1_policies)
+    [ 0; 1; 2; 3 ]
+
+type versus_row = { bench : string; power : cell; thermal : cell }
+
+let versus ~arch () =
+  List.map
+    (fun bench ->
+      {
+        bench = Benchmarks.descriptors.(bench).Benchmarks.bench_name;
+        power =
+          run_one ~arch ~policy:(Policy.Power_aware Policy.Min_task_energy) ~bench;
+        thermal = run_one ~arch ~policy:Policy.Thermal_aware ~bench;
+      })
+    [ 0; 1; 2; 3 ]
+
+let table2 () = versus ~arch:Cosynthesis ()
+let table3 () = versus ~arch:Platform ()
+
+type reduction = { d_max_temp : float; d_avg_temp : float }
+
+let average_reduction rows =
+  let n = float_of_int (List.length rows) in
+  let dmax =
+    List.fold_left
+      (fun acc r -> acc +. (r.power.Metrics.max_temp -. r.thermal.Metrics.max_temp))
+      0.0 rows
+  in
+  let davg =
+    List.fold_left
+      (fun acc r -> acc +. (r.power.Metrics.avg_temp -. r.thermal.Metrics.avg_temp))
+      0.0 rows
+  in
+  { d_max_temp = dmax /. n; d_avg_temp = davg /. n }
+
+type shape_check = { check : string; holds : bool; detail : string }
+
+let mean_by rows ~policy ~proj =
+  let selected = List.filter (fun r -> r.policy = policy) rows in
+  Stats.mean (Array.of_list (List.map proj selected))
+
+let shape_checks ~table1 ~table2 ~table3 =
+  let avg_temp_of arch (c : cell) =
+    ignore arch;
+    c.Metrics.avg_temp
+  in
+  let h3_best arch proj =
+    let m p = mean_by table1 ~policy:p ~proj in
+    let h3 = m (Policy.Power_aware Policy.Min_task_energy) in
+    let h1 = m (Policy.Power_aware Policy.Min_task_power) in
+    let h2 = m (Policy.Power_aware Policy.Min_pe_average_power) in
+    let base = m Policy.Baseline in
+    {
+      check = Printf.sprintf "Table1/%s: H3 coolest power heuristic (avg temp)" arch;
+      holds = h3 <= h1 +. 1e-9 && h3 <= h2 +. 1e-9 && h3 <= base +. 1e-9;
+      detail =
+        Printf.sprintf "baseline %.2f, h1 %.2f, h2 %.2f, h3 %.2f °C" base h1 h2 h3;
+    }
+  in
+  let thermal_wins name rows =
+    let r = average_reduction rows in
+    {
+      check = Printf.sprintf "%s: thermal-aware reduces both temperatures" name;
+      holds = r.d_max_temp > 0.0 && r.d_avg_temp > 0.0;
+      detail =
+        Printf.sprintf "avg reduction: %.2f °C max, %.2f °C avg" r.d_max_temp
+          r.d_avg_temp;
+    }
+  in
+  let platform_cooler =
+    (* The paper's claim compares the thermal-aware rows of Tables 2 and 3:
+       the platform thermal ASP balances all PEs and lands cooler than the
+       customized architecture. *)
+    let mean rows proj = Stats.mean (Array.of_list (List.map proj rows)) in
+    let cos_max = mean table2 (fun r -> r.thermal.Metrics.max_temp) in
+    let plat_max = mean table3 (fun r -> r.thermal.Metrics.max_temp) in
+    let cos_avg = mean table2 (fun r -> avg_temp_of Cosynthesis r.thermal) in
+    let plat_avg = mean table3 (fun r -> avg_temp_of Platform r.thermal) in
+    {
+      check = "Thermal ASP on platform cooler than on customized architecture";
+      holds = plat_max < cos_max && plat_avg < cos_avg;
+      detail =
+        Printf.sprintf
+          "max: platform %.2f vs co-synthesis %.2f °C; avg: %.2f vs %.2f °C"
+          plat_max cos_max plat_avg cos_avg;
+    }
+  in
+  [
+    h3_best "cosynth" (fun r -> r.cosynth.Metrics.avg_temp);
+    h3_best "platform" (fun r -> r.platform.Metrics.avg_temp);
+    thermal_wins "Table2 (co-synthesis)" table2;
+    thermal_wins "Table3 (platform)" table3;
+    platform_cooler;
+  ]
+
+let workload_balance ~bench =
+  List.map
+    (fun policy ->
+      let o = outcome ~arch:Platform ~policy ~bench in
+      (policy, Metrics.utilization_spread o.Flow.schedule))
+    Policy.all
+
+type robustness = {
+  n_graphs : int;
+  wins_max : int;
+  wins_avg : int;
+  mean_reduction : reduction;
+}
+
+let robustness ?(n = 12) ?(seed = 2005) ?(tasks = 30) () =
+  if n < 1 || tasks < 2 then invalid_arg "Experiments.robustness: bad parameters";
+  let module Generator = Tats_taskgraph.Generator in
+  let module Rng = Tats_util.Rng in
+  let rng = Rng.create seed in
+  let lib = Catalog.platform_library () in
+  let wins_max = ref 0 and wins_avg = ref 0 in
+  let sum_max = ref 0.0 and sum_avg = ref 0.0 in
+  for i = 1 to n do
+    let lo, hi = Generator.feasible_edges ~n_tasks:tasks in
+    let n_edges = Rng.range rng lo (Stdlib.min hi (2 * tasks)) in
+    (* Deadlines with moderate slack: enough for feasibility on 4 PEs,
+       loose enough for the thermal trade to exist. *)
+    let deadline = float_of_int (Rng.range rng (tasks * 25) (tasks * 45)) in
+    let graph =
+      Generator.generate
+        ~seed:(Rng.int rng 1_000_000)
+        ~name:(Printf.sprintf "rand%d" i)
+        {
+          Generator.default_spec with
+          Generator.n_tasks = tasks;
+          n_edges;
+          deadline;
+          n_task_types = Tats_taskgraph.Benchmarks.n_task_types;
+        }
+    in
+    let run policy = (Flow.run_platform ~graph ~lib ~policy ()).Flow.row in
+    let power = run (Policy.Power_aware Policy.Min_task_energy) in
+    let thermal = run Policy.Thermal_aware in
+    let d_max = power.Metrics.max_temp -. thermal.Metrics.max_temp in
+    let d_avg = power.Metrics.avg_temp -. thermal.Metrics.avg_temp in
+    if d_max > 0.0 then incr wins_max;
+    if d_avg > 0.0 then incr wins_avg;
+    sum_max := !sum_max +. d_max;
+    sum_avg := !sum_avg +. d_avg
+  done;
+  {
+    n_graphs = n;
+    wins_max = !wins_max;
+    wins_avg = !wins_avg;
+    mean_reduction =
+      {
+        d_max_temp = !sum_max /. float_of_int n;
+        d_avg_temp = !sum_avg /. float_of_int n;
+      };
+  }
+
+type floorplan_study_row = {
+  seed : int;
+  n_blocks : int;
+  area_only_peak : float;
+  thermal_aware_peak : float;
+  area_overhead : float;
+}
+
+let floorplan_study ?(seeds = [ 1; 2; 3; 4 ]) ?(n_blocks = 6) () =
+  let module Block = Tats_floorplan.Block in
+  let module Placement = Tats_floorplan.Placement in
+  let module Ga = Tats_floorplan.Ga in
+  let module Hotspot = Tats_thermal.Hotspot in
+  let module Rng = Tats_util.Rng in
+  List.map
+    (fun seed ->
+      let rng = Rng.create (1000 + seed) in
+      let blocks =
+        Array.init n_blocks (fun i ->
+            Block.make ~name:(Printf.sprintf "b%d" i)
+              ~area:(Rng.uniform rng 6e-6 2.5e-5)
+              ())
+      in
+      (* A skewed power assignment: two hot blocks, the rest lukewarm. *)
+      let power =
+        Array.init n_blocks (fun i ->
+            if i < 2 then Rng.uniform rng 8.0 12.0 else Rng.uniform rng 0.5 2.0)
+      in
+      let blocks_area = Array.fold_left (fun a b -> a +. b.Block.area) 0.0 blocks in
+      let peak placement =
+        Hotspot.peak_temperature (Hotspot.create placement) ~power
+      in
+      let area_only =
+        Ga.run ~seed ~blocks ~cost:(Flow.floorplan_cost ~blocks_area) ()
+      in
+      let thermal_aware =
+        Ga.run ~seed ~blocks
+          ~cost:(fun p ->
+            Flow.floorplan_cost ~blocks_area p
+            +. (0.05 *. (peak p -. Tats_thermal.Package.default.Tats_thermal.Package.ambient)))
+          ()
+      in
+      {
+        seed;
+        n_blocks;
+        area_only_peak = peak area_only.Ga.best_placement;
+        thermal_aware_peak = peak thermal_aware.Ga.best_placement;
+        area_overhead =
+          Placement.die_area thermal_aware.Ga.best_placement
+          /. Float.max (Placement.die_area area_only.Ga.best_placement) 1e-12;
+      })
+    seeds

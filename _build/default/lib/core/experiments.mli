@@ -1,0 +1,81 @@
+(** Drivers that regenerate every table of the paper's evaluation.
+
+    All runs are deterministic: fixed benchmark seeds, fixed library seed,
+    fixed GA seed. Tables 2 and 3 reuse the Table 1 machinery with the
+    paper's conclusion baked in (H3 is the power-aware representative). *)
+
+module Policy = Tats_sched.Policy
+module Metrics = Tats_sched.Metrics
+module Flow = Tats_cosynth.Flow
+
+type cell = Metrics.row
+
+type arch = Cosynthesis | Platform
+
+val arch_name : arch -> string
+
+val run_one : arch:arch -> policy:Policy.t -> bench:int -> cell
+(** One table cell: benchmark index in [0..3]. *)
+
+type table1_row = { bench : string; policy : Policy.t; cosynth : cell; platform : cell }
+
+val table1 : unit -> table1_row list
+(** 4 benchmarks x (baseline, h1, h2, h3), Table 1 order. *)
+
+type versus_row = { bench : string; power : cell; thermal : cell }
+
+val table2 : unit -> versus_row list
+(** Power-aware (h3) vs thermal-aware on the co-synthesis architecture. *)
+
+val table3 : unit -> versus_row list
+(** Same comparison on the platform architecture. *)
+
+type reduction = { d_max_temp : float; d_avg_temp : float }
+
+val average_reduction : versus_row list -> reduction
+(** Mean (power - thermal) over the rows; positive = thermal wins. *)
+
+type shape_check = { check : string; holds : bool; detail : string }
+
+val shape_checks :
+  table1:table1_row list ->
+  table2:versus_row list ->
+  table3:versus_row list ->
+  shape_check list
+(** The reproduction criteria of DESIGN.md §2: H3 best power heuristic,
+    thermal beats power on max and avg temperature on both architectures,
+    platform cooler than co-synthesis. *)
+
+val workload_balance : bench:int -> (Policy.t * float) list
+(** Utilization spread (max - min) per policy on the platform architecture —
+    evidence for the paper's "thermal ASP balances the workloads" claim. *)
+
+type robustness = {
+  n_graphs : int;
+  wins_max : int;  (** graphs where thermal max-temp beats power-aware *)
+  wins_avg : int;
+  mean_reduction : reduction; (** mean (power - thermal) over the sample *)
+}
+
+val robustness : ?n:int -> ?seed:int -> ?tasks:int -> unit -> robustness
+(** Beyond the paper's four benchmarks: draw [n] (default 12) random
+    layered graphs of [tasks] (default 30) tasks with random edge counts
+    and deadlines, and compare the power-aware (h3) and thermal-aware
+    platform flows on each. The paper's conclusion should not depend on
+    its particular benchmark draws; this measures how often it holds on
+    fresh ones. Deterministic in [seed] (default 2005). *)
+
+type floorplan_study_row = {
+  seed : int;
+  n_blocks : int;
+  area_only_peak : float;    (** peak °C of the area-driven floorplan *)
+  thermal_aware_peak : float;
+  area_overhead : float;     (** thermal-aware die area / area-only die area *)
+}
+
+val floorplan_study : ?seeds:int list -> ?n_blocks:int -> unit -> floorplan_study_row list
+(** The ISQED'05 [3] experiment shape: on random block sets with random
+    power assignments, compare the GA floorplanner under its area objective
+    against the thermal-aware objective (area + peak temperature). The
+    thermal-aware floorplan separates hot blocks at a small area cost.
+    [seeds] defaults to [1; 2; 3; 4]; [n_blocks] to 6. *)

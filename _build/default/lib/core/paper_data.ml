@@ -1,0 +1,94 @@
+type cell = { total_power : float; max_temp : float; avg_temp : float }
+
+let c total_power max_temp avg_temp = { total_power; max_temp; avg_temp }
+
+type table1_group = {
+  bench : string;
+  baseline_cosynth : cell;
+  h1_cosynth : cell;
+  h2_cosynth : cell;
+  h3_cosynth : cell;
+  baseline_platform : cell;
+  h1_platform : cell;
+  h2_platform : cell;
+  h3_platform : cell;
+}
+
+let table1 =
+  [|
+    {
+      bench = "Bm1";
+      baseline_cosynth = c 16.60 118.18 106.32;
+      h1_cosynth = c 16.14 121.70 109.29;
+      h2_cosynth = c 16.60 118.18 106.32;
+      h3_cosynth = c 15.56 113.29 104.49;
+      baseline_platform = c 11.91 100.59 81.03;
+      h1_platform = c 10.40 85.88 75.58;
+      h2_platform = c 12.60 107.16 82.78;
+      h3_platform = c 10.40 85.88 75.58;
+    };
+    {
+      bench = "Bm2";
+      baseline_cosynth = c 29.47 121.44 110.22;
+      h1_cosynth = c 28.55 115.21 107.55;
+      h2_cosynth = c 29.47 121.44 110.22;
+      h3_cosynth = c 28.27 112.82 105.42;
+      baseline_platform = c 24.48 114.33 101.04;
+      h1_platform = c 23.36 107.63 98.21;
+      h2_platform = c 24.90 113.31 99.96;
+      h3_platform = c 24.09 106.63 97.40;
+    };
+    {
+      bench = "Bm3";
+      baseline_cosynth = c 28.84 113.58 101.76;
+      h1_cosynth = c 27.75 110.33 100.46;
+      h2_cosynth = c 29.35 110.49 100.60;
+      h3_cosynth = c 28.20 109.96 100.15;
+      baseline_platform = c 26.88 113.81 98.47;
+      h1_platform = c 26.10 106.63 96.74;
+      h2_platform = c 26.88 113.81 98.47;
+      h3_platform = c 25.20 103.95 94.69;
+    };
+    {
+      bench = "Bm4";
+      baseline_cosynth = c 44.99 122.09 111.14;
+      h1_cosynth = c 46.99 122.28 111.53;
+      h2_cosynth = c 44.99 117.86 111.13;
+      h3_cosynth = c 43.34 118.68 109.87;
+      baseline_platform = c 42.35 106.54 97.05;
+      h1_platform = c 40.33 100.61 89.74;
+      h2_platform = c 42.35 106.54 91.62;
+      h3_platform = c 41.64 100.42 89.24;
+    };
+  |]
+
+type versus = { bench : string; power : cell; thermal : cell }
+
+let table2 =
+  [|
+    { bench = "Bm1"; power = c 15.56 113.29 104.49; thermal = c 12.48 87.11 86.13 };
+    { bench = "Bm2"; power = c 28.27 112.82 105.42; thermal = c 24.64 106.38 99.84 };
+    { bench = "Bm3"; power = c 28.20 109.96 100.15; thermal = c 26.51 102.08 96.28 };
+    { bench = "Bm4"; power = c 43.34 118.68 109.87; thermal = c 42.41 106.32 102.48 };
+  |]
+
+let table3 =
+  [|
+    { bench = "Bm1"; power = c 10.40 85.88 75.58; thermal = c 6.37 65.71 61.16 };
+    { bench = "Bm2"; power = c 24.09 106.63 97.40; thermal = c 22.37 96.33 93.47 };
+    { bench = "Bm3"; power = c 25.20 103.95 94.69; thermal = c 24.98 103.03 94.59 };
+    { bench = "Bm4"; power = c 41.64 100.42 89.24; thermal = c 38.54 94.85 85.76 };
+  |]
+
+let avg_reduction rows =
+  let n = float_of_int (Array.length rows) in
+  let dmax =
+    Array.fold_left (fun acc r -> acc +. (r.power.max_temp -. r.thermal.max_temp)) 0.0 rows
+  in
+  let davg =
+    Array.fold_left (fun acc r -> acc +. (r.power.avg_temp -. r.thermal.avg_temp)) 0.0 rows
+  in
+  (dmax /. n, davg /. n)
+
+let table2_avg_reduction = avg_reduction table2
+let table3_avg_reduction = avg_reduction table3

@@ -1,0 +1,33 @@
+(** The numbers published in the paper's Tables 1–3, for side-by-side
+    reporting. Units: W, °C, °C. *)
+
+type cell = { total_power : float; max_temp : float; avg_temp : float }
+
+type table1_group = {
+  bench : string;
+  baseline_cosynth : cell;
+  h1_cosynth : cell;
+  h2_cosynth : cell;
+  h3_cosynth : cell;
+  baseline_platform : cell;
+  h1_platform : cell;
+  h2_platform : cell;
+  h3_platform : cell;
+}
+
+val table1 : table1_group array
+(** Bm1..Bm4, the paper's Table 1. *)
+
+type versus = { bench : string; power : cell; thermal : cell }
+
+val table2 : versus array
+(** Power-aware (H3) vs thermal-aware, co-synthesis architecture. *)
+
+val table3 : versus array
+(** Power-aware vs thermal-aware, platform architecture. *)
+
+val table2_avg_reduction : float * float
+(** The paper's headline: (10.9 °C max, 6.95 °C avg) on co-synthesis. *)
+
+val table3_avg_reduction : float * float
+(** (9.75 °C max, 5.02 °C avg) on the platform architecture. *)

@@ -1,0 +1,195 @@
+module Metrics = Tats_sched.Metrics
+module Policy = Tats_sched.Policy
+
+let cell_to_string (c : Metrics.row) =
+  Printf.sprintf "%6.2f %7.2f %7.2f" c.Metrics.total_power c.Metrics.max_temp
+    c.Metrics.avg_temp
+
+let paper_cell_to_string (c : Paper_data.cell) =
+  Printf.sprintf "%6.2f %7.2f %7.2f" c.Paper_data.total_power c.Paper_data.max_temp
+    c.Paper_data.avg_temp
+
+let header = "  Pow(W)  MaxT(C) AvgT(C)"
+
+let paper_table1_cell bench policy arch =
+  let g =
+    Array.to_list Paper_data.table1
+    |> List.find (fun (g : Paper_data.table1_group) -> String.equal g.bench bench)
+  in
+  match (policy, arch) with
+  | Policy.Baseline, `Cosynth -> g.Paper_data.baseline_cosynth
+  | Policy.Power_aware Policy.Min_task_power, `Cosynth -> g.Paper_data.h1_cosynth
+  | Policy.Power_aware Policy.Min_pe_average_power, `Cosynth -> g.Paper_data.h2_cosynth
+  | Policy.Power_aware Policy.Min_task_energy, `Cosynth -> g.Paper_data.h3_cosynth
+  | Policy.Baseline, `Platform -> g.Paper_data.baseline_platform
+  | Policy.Power_aware Policy.Min_task_power, `Platform -> g.Paper_data.h1_platform
+  | Policy.Power_aware Policy.Min_pe_average_power, `Platform -> g.Paper_data.h2_platform
+  | Policy.Power_aware Policy.Min_task_energy, `Platform -> g.Paper_data.h3_platform
+  | Policy.Thermal_aware, _ -> invalid_arg "thermal is not a Table 1 policy"
+
+let table1 rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Table 1 — power heuristics under co-synthesis and platform architectures\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-9s | measured co-synthesis%s | measured platform%s\n" ""
+       "" header header);
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-9s | paper    co-synthesis%s | paper    platform%s\n" ""
+       "" header header);
+  Buffer.add_string buf (String.make 118 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s %-9s | measured %s | measured %s\n" r.Experiments.bench
+           (Policy.name r.Experiments.policy)
+           (cell_to_string r.Experiments.cosynth)
+           (cell_to_string r.Experiments.platform));
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s %-9s | paper    %s | paper    %s\n" "" ""
+           (paper_cell_to_string
+              (paper_table1_cell r.Experiments.bench r.Experiments.policy `Cosynth))
+           (paper_cell_to_string
+              (paper_table1_cell r.Experiments.bench r.Experiments.policy `Platform))))
+    rows;
+  Buffer.contents buf
+
+let versus_table ~title ~paper rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s          | power-aware%s | thermal-aware%s\n" "" header header);
+  Buffer.add_string buf (String.make 100 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Experiments.versus_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s measured | %s | %s\n" r.Experiments.bench
+           (cell_to_string r.Experiments.power)
+           (cell_to_string r.Experiments.thermal));
+      let p =
+        Array.to_list paper
+        |> List.find (fun (v : Paper_data.versus) ->
+               String.equal v.Paper_data.bench r.Experiments.bench)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s paper    | %s | %s\n" ""
+           (paper_cell_to_string p.Paper_data.power)
+           (paper_cell_to_string p.Paper_data.thermal)))
+    rows;
+  let r = Experiments.average_reduction rows in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "average reduction: measured %.2f °C max / %.2f °C avg  (paper: %.2f / %.2f)\n"
+       r.Experiments.d_max_temp r.Experiments.d_avg_temp
+       (fst (if paper == Paper_data.table2 then Paper_data.table2_avg_reduction
+             else Paper_data.table3_avg_reduction))
+       (snd (if paper == Paper_data.table2 then Paper_data.table2_avg_reduction
+             else Paper_data.table3_avg_reduction)));
+  Buffer.contents buf
+
+let table2 rows =
+  versus_table
+    ~title:"Table 2 — power-aware vs thermal-aware, co-synthesis architecture"
+    ~paper:Paper_data.table2 rows
+
+let table3 rows =
+  versus_table
+    ~title:"Table 3 — power-aware vs thermal-aware, platform architecture"
+    ~paper:Paper_data.table3 rows
+
+let shape_checks checks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Shape checks (reproduction criteria):\n";
+  List.iter
+    (fun (c : Experiments.shape_check) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s — %s\n"
+           (if c.Experiments.holds then "PASS" else "FAIL")
+           c.Experiments.check c.Experiments.detail))
+    checks;
+  Buffer.contents buf
+
+let versus_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "bench,power_total_w,power_max_c,power_avg_c,thermal_total_w,thermal_max_c,thermal_avg_c\n";
+  List.iter
+    (fun (r : Experiments.versus_row) ->
+      let p = r.Experiments.power and t = r.Experiments.thermal in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n" r.Experiments.bench
+           p.Metrics.total_power p.Metrics.max_temp p.Metrics.avg_temp
+           t.Metrics.total_power t.Metrics.max_temp t.Metrics.avg_temp))
+    rows;
+  Buffer.contents buf
+
+let table1_csv rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "bench,policy,cosynth_total_w,cosynth_max_c,cosynth_avg_c,platform_total_w,platform_max_c,platform_avg_c\n";
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      let c = r.Experiments.cosynth and p = r.Experiments.platform in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n" r.Experiments.bench
+           (Policy.name r.Experiments.policy)
+           c.Metrics.total_power c.Metrics.max_temp c.Metrics.avg_temp
+           p.Metrics.total_power p.Metrics.max_temp p.Metrics.avg_temp))
+    rows;
+  Buffer.contents buf
+
+let md_cell (c : Metrics.row) =
+  Printf.sprintf "%.2f / %.2f / %.2f" c.Metrics.total_power c.Metrics.max_temp
+    c.Metrics.avg_temp
+
+let md_paper_cell (c : Paper_data.cell) =
+  Printf.sprintf "%.2f / %.2f / %.2f" c.Paper_data.total_power c.Paper_data.max_temp
+    c.Paper_data.avg_temp
+
+let versus_markdown ~title ~paper rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "## %s\n\n" title);
+  Buffer.add_string buf
+    "| Bench | measured power | measured thermal | paper power | paper thermal |\n";
+  Buffer.add_string buf "|---|---|---|---|---|\n";
+  List.iter
+    (fun (r : Experiments.versus_row) ->
+      let p =
+        Array.to_list paper
+        |> List.find (fun (v : Paper_data.versus) ->
+               String.equal v.Paper_data.bench r.Experiments.bench)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s | %s |\n" r.Experiments.bench
+           (md_cell r.Experiments.power)
+           (md_cell r.Experiments.thermal)
+           (md_paper_cell p.Paper_data.power)
+           (md_paper_cell p.Paper_data.thermal)))
+    rows;
+  let r = Experiments.average_reduction rows in
+  Buffer.add_string buf
+    (Printf.sprintf "\nAverage reduction: **%.2f °C max / %.2f °C avg**.\n"
+       r.Experiments.d_max_temp r.Experiments.d_avg_temp);
+  Buffer.contents buf
+
+let table1_markdown rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "## Table 1 — power heuristics, both architectures\n\n";
+  Buffer.add_string buf
+    "| Bench | Policy | measured co-synth | paper co-synth | measured platform | \
+     paper platform |\n|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s | %s | %s |\n" r.Experiments.bench
+           (Policy.name r.Experiments.policy)
+           (md_cell r.Experiments.cosynth)
+           (md_paper_cell
+              (paper_table1_cell r.Experiments.bench r.Experiments.policy `Cosynth))
+           (md_cell r.Experiments.platform)
+           (md_paper_cell
+              (paper_table1_cell r.Experiments.bench r.Experiments.policy `Platform))))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Text rendering of the regenerated tables, side by side with the paper's
+    published numbers, plus CSV export. *)
+
+val table1 : Experiments.table1_row list -> string
+val table2 : Experiments.versus_row list -> string
+val table3 : Experiments.versus_row list -> string
+
+val shape_checks : Experiments.shape_check list -> string
+
+val versus_csv : Experiments.versus_row list -> string
+(** Header + one line per benchmark: measured power/max/avg for both
+    approaches. *)
+
+val table1_csv : Experiments.table1_row list -> string
+
+val versus_markdown : title:string -> paper:Paper_data.versus array ->
+  Experiments.versus_row list -> string
+(** GitHub-flavoured markdown: one row per benchmark with measured and paper
+    cells side by side (the format EXPERIMENTS.md uses). *)
+
+val table1_markdown : Experiments.table1_row list -> string

@@ -1,0 +1,1 @@
+lib/cosynth/alloc.ml: Array Float Fun List Tats_sched Tats_taskgraph Tats_techlib

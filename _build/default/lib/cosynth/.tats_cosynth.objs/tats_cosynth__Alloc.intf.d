@@ -1,0 +1,1 @@
+lib/cosynth/alloc.mli: Tats_sched Tats_taskgraph Tats_techlib

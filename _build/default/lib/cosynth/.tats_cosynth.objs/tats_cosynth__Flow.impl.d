@@ -1,0 +1,1 @@
+lib/cosynth/flow.ml: Alloc Array Float List Printf Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/cosynth/flow.mli: Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

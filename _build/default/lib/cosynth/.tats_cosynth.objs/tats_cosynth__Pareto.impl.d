@@ -1,0 +1,1 @@
+lib/cosynth/pareto.ml: Flow Format List Printf Tats_sched Tats_taskgraph Tats_techlib

@@ -1,0 +1,1 @@
+lib/cosynth/pareto.mli: Format Tats_sched Tats_taskgraph Tats_techlib

@@ -1,0 +1,214 @@
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Pe = Tats_techlib.Pe
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+module Grid = Tats_floorplan.Grid
+module Ga = Tats_floorplan.Ga
+module Package = Tats_thermal.Package
+module Hotspot = Tats_thermal.Hotspot
+module Policy = Tats_sched.Policy
+module Schedule = Tats_sched.Schedule
+module List_sched = Tats_sched.List_sched
+module Metrics = Tats_sched.Metrics
+
+type stage = Allocation | Floorplanning | Scheduling | Thermal_extraction
+
+let stage_name = function
+  | Allocation -> "allocation"
+  | Floorplanning -> "floorplanning"
+  | Scheduling -> "scheduling"
+  | Thermal_extraction -> "thermal-extraction"
+
+type log_entry = { stage : stage; detail : string }
+
+type outcome = {
+  schedule : Schedule.t;
+  placement : Placement.t;
+  hotspot : Hotspot.t;
+  row : Metrics.row;
+  report : Metrics.thermal_report;
+  arch_cost : float;
+  outer_iterations : int;
+  log : log_entry list;
+}
+
+let blocks_of_insts insts =
+  Array.map
+    (fun (i : Pe.inst) ->
+      Block.make
+        ~name:(Printf.sprintf "PE%d_%s" i.Pe.inst_id i.Pe.kind.Pe.kind_name)
+        ~area:i.Pe.kind.Pe.area ())
+    insts
+
+let floorplan_cost ?(thermal = fun _ -> 0.0) ~blocks_area placement =
+  let area_term = Placement.die_area placement /. blocks_area in
+  (* Normalize wirelength by the die diagonal so it is scale-free. *)
+  let diag =
+    Float.max (Float.hypot placement.Placement.die_w placement.Placement.die_h) 1e-12
+  in
+  let n = Array.length placement.Placement.rects in
+  let pairs = Float.max 1.0 (float_of_int (n * (n - 1) / 2)) in
+  let wl_term = Placement.total_wirelength placement /. (diag *. pairs) in
+  area_term +. (0.2 *. wl_term) +. thermal placement
+
+let finalize ~leakage ~lib ~hotspot ~arch_cost ~outer ~log schedule placement =
+  let report = Metrics.thermal_report ~leakage schedule ~hotspot in
+  let row = Metrics.row ~leakage schedule ~lib ~hotspot in
+  {
+    schedule;
+    placement;
+    hotspot;
+    row;
+    report;
+    arch_cost;
+    outer_iterations = outer;
+    log = List.rev log;
+  }
+
+(* The thermal ASP searches for the strongest thermal weight that still
+   meets the deadline (see List_sched.run_adaptive) — the paper's "reduce
+   the peak temperature ... while meeting real time constraints". The other
+   policies run once at their (possibly caller-supplied) weight. *)
+let schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () =
+  match policy with
+  | Policy.Thermal_aware ->
+      fst
+        (List_sched.run_adaptive ?base_weights:weights ~hotspot ~graph ~lib
+           ~pes:insts ~policy ())
+  | Policy.Power_aware _ ->
+      (* Power heuristics never stretch the schedule; their weight is only
+         ever capped downward to keep the deadline. *)
+      fst
+        (List_sched.run_adaptive ?base_weights:weights ~max_multiplier:1.0
+           ~hotspot ~graph ~lib ~pes:insts ~policy ())
+  | Policy.Baseline ->
+      List_sched.run ?weights ~hotspot ~graph ~lib ~pes:insts ~policy ()
+
+let run_platform ?(n_pes = 4) ?(package = Package.default) ?weights
+    ?(leakage = true) ~graph ~lib ~policy () =
+  if Array.length (Library.kinds lib) <> 1 then
+    invalid_arg "Flow.run_platform: the platform library must have one kind";
+  if n_pes < 1 then invalid_arg "Flow.run_platform: need at least one PE";
+  let insts = Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0)) in
+  let log = ref [] in
+  let push stage detail = log := { stage; detail } :: !log in
+  push Allocation (Printf.sprintf "fixed platform: %d identical PEs" n_pes);
+  let placement = Grid.layout (blocks_of_insts insts) in
+  push Floorplanning "fixed grid floorplan";
+  let hotspot = Hotspot.create ~package placement in
+  let schedule = schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () in
+  push Scheduling
+    (Printf.sprintf "policy %s, makespan %.1f / deadline %.0f" (Policy.name policy)
+       schedule.Schedule.makespan (Graph.deadline graph));
+  push Thermal_extraction
+    (Printf.sprintf "%d HotSpot inquiries" (Hotspot.inquiries hotspot));
+  let arch_cost = float_of_int n_pes *. (Library.kind lib 0).Pe.cost in
+  finalize ~leakage ~lib ~hotspot ~arch_cost ~outer:1 ~log:!log schedule placement
+
+(* Thermal term of the GA objective: the peak steady-state temperature of
+   the placement under a fixed per-block power estimate, scaled to compete
+   with the (dimensionless, ~1) area term. *)
+let thermal_ga_term ~package ~power placement =
+  let hotspot = Hotspot.create ~package placement in
+  let peak = Hotspot.peak_temperature hotspot ~power in
+  0.01 *. (peak -. package.Package.ambient)
+
+let run_cosynthesis ?(package = Package.default) ?weights ?(leakage = true)
+    ?(ga_params = Ga.default_params) ?(ga_seed = 42) ?(min_pes = 1) ?(max_pes = 8)
+    ?(max_outer = 3) ?(refine_rounds = 1) ~graph ~lib ~policy () =
+  if refine_rounds < 1 then invalid_arg "Flow.run_cosynthesis: refine_rounds < 1";
+  if max_outer < 1 then invalid_arg "Flow.run_cosynthesis: max_outer < 1";
+  let log = ref [] in
+  let push stage detail = log := { stage; detail } :: !log in
+  let rec attempt outer min_pes =
+    (* 1. Allocation. All policies share the baseline-ASP-driven selection
+       (the paper's identical baseline/h2 rows show the policies shared an
+       architecture); the DC policy then differentiates the assignment. *)
+    let alloc = Alloc.run ~max_pes ~min_pes ~graph ~lib () in
+    (* Thermal-aware co-synthesis buys one PE of headroom beyond bare
+       feasibility: the adaptive thermal ASP converts that slack into lower
+       power density — temperature is part of its objective, so trading a
+       little cost for it is the point of the flow. *)
+    let alloc =
+      match policy with
+      | Policy.Thermal_aware
+        when alloc.Alloc.feasible && Array.length alloc.Alloc.insts < max_pes ->
+          Alloc.run ~max_pes
+            ~min_pes:(Array.length alloc.Alloc.insts + 1)
+            ~graph ~lib ()
+      | Policy.Thermal_aware | Policy.Baseline | Policy.Power_aware _ -> alloc
+    in
+    push Allocation
+      (Printf.sprintf "iteration %d: %d PEs (cost %.0f, %d trial schedules%s)"
+         outer
+         (Array.length alloc.Alloc.insts)
+         alloc.Alloc.total_cost alloc.Alloc.asp_runs
+         (if alloc.Alloc.feasible then "" else ", infeasible at baseline"));
+    let insts = alloc.Alloc.insts in
+    let blocks = blocks_of_insts insts in
+    let blocks_area = Array.fold_left (fun acc b -> acc +. b.Block.area) 0.0 blocks in
+    (* 2 + 3. Floorplanning and scheduling, interleaved: the first
+       floorplan is driven by a baseline schedule's power estimate; further
+       refinement rounds re-floorplan under the *policy* schedule's powers
+       and re-schedule on the improved placement — the Figure-1(a)
+       interaction between the ASP and the floorplanner. *)
+    let floorplan ~power_estimate ~round =
+      let thermal =
+        match policy with
+        | Policy.Thermal_aware ->
+            Some (thermal_ga_term ~package ~power:power_estimate)
+        | Policy.Baseline | Policy.Power_aware _ -> None
+      in
+      let ga =
+        if Array.length blocks = 1 then None
+        else
+          Some
+            (Ga.run ~params:ga_params ~seed:ga_seed ~blocks
+               ~cost:(floorplan_cost ?thermal ~blocks_area)
+               ())
+      in
+      let placement =
+        match ga with Some g -> g.Ga.best_placement | None -> Grid.layout blocks
+      in
+      push Floorplanning
+        (match ga with
+        | Some g ->
+            Printf.sprintf "round %d: GA%s: cost %.3f after %d generations" round
+              (match thermal with Some _ -> " (thermal-aware)" | None -> "")
+              g.Ga.best_cost
+              (Array.length g.Ga.history)
+        | None -> "single block, trivial floorplan");
+      placement
+    in
+    let baseline = List_sched.run ~graph ~lib ~pes:insts ~policy:Policy.Baseline () in
+    let rec refine round power_estimate =
+      let placement = floorplan ~power_estimate ~round in
+      let hotspot = Hotspot.create ~package placement in
+      let schedule =
+        schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy ()
+      in
+      push Scheduling
+        (Printf.sprintf "round %d: policy %s, makespan %.1f / deadline %.0f" round
+           (Policy.name policy) schedule.Schedule.makespan (Graph.deadline graph));
+      if round < refine_rounds then
+        refine (round + 1) (Metrics.pe_average_powers schedule)
+      else (placement, hotspot, schedule)
+    in
+    let placement, hotspot, schedule =
+      refine 1 (Metrics.pe_average_powers baseline)
+    in
+    (* 4. Meets requirement? *)
+    if
+      (not (Schedule.meets_deadline schedule))
+      && outer < max_outer
+      && Array.length insts < max_pes
+    then attempt (outer + 1) (Array.length insts + 1)
+    else begin
+      push Thermal_extraction
+        (Printf.sprintf "%d HotSpot inquiries" (Hotspot.inquiries hotspot));
+      finalize ~leakage ~lib ~hotspot ~arch_cost:alloc.Alloc.total_cost ~outer
+        ~log:!log schedule placement
+    end
+  in
+  attempt 1 min_pes

@@ -1,0 +1,83 @@
+(** The two end-to-end flows of the paper's Figure 1.
+
+    {b (a) Co-synthesis}: allocation from the heterogeneous catalogue ->
+    ASP -> thermal-aware floorplanning (GA) with HotSpot in the loop ->
+    temperature extraction; if the policy ASP misses the deadline on the
+    allocated architecture, the loop re-enters allocation with one more PE
+    ("Meets requirement? No").
+
+    {b (b) Platform-based}: fixed architecture (four identical PEs on a
+    grid floorplan); the modified ASP activates HotSpot directly with
+    thermal inquiries. *)
+
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Pe = Tats_techlib.Pe
+module Placement = Tats_floorplan.Placement
+module Ga = Tats_floorplan.Ga
+module Package = Tats_thermal.Package
+module Hotspot = Tats_thermal.Hotspot
+module Policy = Tats_sched.Policy
+module Schedule = Tats_sched.Schedule
+module Metrics = Tats_sched.Metrics
+
+type stage = Allocation | Floorplanning | Scheduling | Thermal_extraction
+
+val stage_name : stage -> string
+
+type log_entry = { stage : stage; detail : string }
+
+type outcome = {
+  schedule : Schedule.t;
+  placement : Placement.t;
+  hotspot : Hotspot.t;
+  row : Metrics.row;          (** the paper's Total Pow / Max Temp / Avg Temp *)
+  report : Metrics.thermal_report;
+  arch_cost : float;          (** catalogue cost of the selected PEs *)
+  outer_iterations : int;     (** times the "meets requirement?" loop ran *)
+  log : log_entry list;       (** stage trace, in execution order *)
+}
+
+val run_platform :
+  ?n_pes:int ->
+  ?package:Package.t ->
+  ?weights:Policy.weights ->
+  ?leakage:bool ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  policy:Policy.t ->
+  unit ->
+  outcome
+(** Figure 1(b). [lib] must contain exactly one kind (see
+    {!Tats_techlib.Catalog.platform_library}); [n_pes] defaults to 4. *)
+
+val run_cosynthesis :
+  ?package:Package.t ->
+  ?weights:Policy.weights ->
+  ?leakage:bool ->
+  ?ga_params:Ga.params ->
+  ?ga_seed:int ->
+  ?min_pes:int ->
+  ?max_pes:int ->
+  ?max_outer:int ->
+  ?refine_rounds:int ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  policy:Policy.t ->
+  unit ->
+  outcome
+(** Figure 1(a). The floorplanning GA minimizes die area + wirelength for
+    the traditional policies and additionally peak temperature (under the
+    baseline schedule's PE powers) for [Thermal_aware] — the paper's
+    "thermal-aware floorplanning" stage. [min_pes] (default 1) forces a
+    larger architecture than bare feasibility needs (design-space
+    exploration); [max_outer] (default 3) bounds the requirement loop;
+    [refine_rounds] (default 1) iterates the floorplan <-> schedule
+    interaction — round 2+ re-floorplans under the policy schedule's own
+    PE powers and re-schedules on that placement. *)
+
+val floorplan_cost :
+  ?thermal:(Placement.t -> float) -> blocks_area:float -> Placement.t -> float
+(** The GA objective: [die_area / blocks_area + 0.2 * normalized wirelength
+    + thermal placement] (thermal defaults to [fun _ -> 0.]). Exposed for
+    tests and the ablation bench. *)

@@ -1,0 +1,71 @@
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Policy = Tats_sched.Policy
+module Schedule = Tats_sched.Schedule
+module Metrics = Tats_sched.Metrics
+
+type point = {
+  label : string;
+  arch_cost : float;
+  n_pes : int;
+  meets_deadline : bool;
+  row : Metrics.row;
+}
+
+let default_policies = [ Policy.Power_aware Policy.Min_task_energy; Policy.Thermal_aware ]
+
+let explore ?(policies = default_policies) ?(min_pes_range = [ 1; 2; 3; 4; 5; 6 ])
+    ~graph ~lib () =
+  List.concat_map
+    (fun policy ->
+      List.map
+        (fun min_pes ->
+          let o = Flow.run_cosynthesis ~min_pes ~max_pes:8 ~graph ~lib ~policy () in
+          {
+            label = Printf.sprintf "cosynth/%s/pes>=%d" (Policy.name policy) min_pes;
+            arch_cost = o.Flow.arch_cost;
+            n_pes = Schedule.n_pes o.Flow.schedule;
+            meets_deadline = Schedule.meets_deadline o.Flow.schedule;
+            row = o.Flow.row;
+          })
+        min_pes_range)
+    policies
+
+let dominates a b =
+  a.arch_cost <= b.arch_cost
+  && a.row.Metrics.max_temp <= b.row.Metrics.max_temp
+  && (a.arch_cost < b.arch_cost || a.row.Metrics.max_temp < b.row.Metrics.max_temp)
+
+let frontier points =
+  let feasible = List.filter (fun p -> p.meets_deadline) points in
+  let non_dominated =
+    List.filter (fun p -> not (List.exists (fun q -> dominates q p) feasible)) feasible
+  in
+  (* Collapse duplicate (cost, temperature) points: keep the first label. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (a.arch_cost, a.row.Metrics.max_temp) (b.arch_cost, b.row.Metrics.max_temp))
+      non_dominated
+  in
+  let rec dedup = function
+    | a :: b :: rest
+      when a.arch_cost = b.arch_cost && a.row.Metrics.max_temp = b.row.Metrics.max_temp
+      ->
+        dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let pp_points ppf points =
+  Format.fprintf ppf "@[<v>%-26s %8s %5s %10s %10s %10s %s@,"
+    "design point" "cost" "PEs" "Pow(W)" "MaxT(C)" "AvgT(C)" "deadline";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-26s %8.0f %5d %10.2f %10.2f %10.2f %s@," p.label
+        p.arch_cost p.n_pes p.row.Metrics.total_power p.row.Metrics.max_temp
+        p.row.Metrics.avg_temp
+        (if p.meets_deadline then "met" else "MISSED"))
+    points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Cost/temperature design-space exploration.
+
+    Co-synthesis picks one architecture; this sweeps the PE budget and both
+    end-to-end flows to expose the whole catalogue-cost vs peak-temperature
+    trade, and extracts the Pareto frontier — what a designer would actually
+    look at before fixing the platform. *)
+
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Policy = Tats_sched.Policy
+module Metrics = Tats_sched.Metrics
+
+type point = {
+  label : string;       (** e.g. "cosynth/thermal/max4" *)
+  arch_cost : float;
+  n_pes : int;
+  meets_deadline : bool;
+  row : Metrics.row;
+}
+
+val explore :
+  ?policies:Policy.t list ->
+  ?min_pes_range:int list ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  unit ->
+  point list
+(** Runs co-synthesis for each (policy, forced minimum PE count) pair;
+    [policies] defaults to [h3; thermal], [min_pes_range] to [1..6].
+    Points that miss the deadline are kept (flagged) so the frontier's
+    feasible edge is visible. Deterministic. *)
+
+val frontier : point list -> point list
+(** Deadline-meeting points not dominated in (arch_cost, max_temp) — lower
+    is better on both axes — sorted by cost. *)
+
+val pp_points : Format.formatter -> point list -> unit

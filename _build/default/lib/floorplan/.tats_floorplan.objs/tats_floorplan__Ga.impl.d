@@ -1,0 +1,1 @@
+lib/floorplan/ga.ml: Array List Placement Slicing Tats_util

@@ -1,0 +1,1 @@
+lib/floorplan/ga.mli: Block Placement Slicing

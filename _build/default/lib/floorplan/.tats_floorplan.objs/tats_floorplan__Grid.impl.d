@@ -1,0 +1,1 @@
+lib/floorplan/grid.ml: Array Block Float Placement

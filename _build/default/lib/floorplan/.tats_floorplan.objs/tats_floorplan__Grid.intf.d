@@ -1,0 +1,1 @@
+lib/floorplan/grid.mli: Block Placement

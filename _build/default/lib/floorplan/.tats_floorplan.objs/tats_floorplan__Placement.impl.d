@@ -1,0 +1,1 @@
+lib/floorplan/placement.ml: Array Block Float Format List

@@ -1,0 +1,1 @@
+lib/floorplan/placement.mli: Block Format

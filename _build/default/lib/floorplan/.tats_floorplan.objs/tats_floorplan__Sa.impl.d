@@ -1,0 +1,1 @@
+lib/floorplan/sa.ml: Array Fun List Placement Slicing Tats_util

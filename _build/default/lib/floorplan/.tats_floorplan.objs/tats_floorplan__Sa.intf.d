@@ -1,0 +1,1 @@
+lib/floorplan/sa.mli: Block Placement Slicing

@@ -1,0 +1,1 @@
+lib/floorplan/slicing.ml: Array Block Float Format List Placement Stdlib Tats_util

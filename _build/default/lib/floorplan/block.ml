@@ -1,0 +1,39 @@
+type t = { name : string; area : float; min_aspect : float; max_aspect : float }
+
+let make ~name ~area ?(min_aspect = 0.5) ?(max_aspect = 2.0) () =
+  if area <= 0.0 then invalid_arg "Block.make: non-positive area";
+  if min_aspect <= 0.0 || max_aspect < min_aspect then
+    invalid_arg "Block.make: bad aspect bounds";
+  { name; area; min_aspect; max_aspect }
+
+type rect = { x : float; y : float; w : float; h : float }
+
+let rect_area r = r.w *. r.h
+let rect_center r = (r.x +. (r.w /. 2.0), r.y +. (r.h /. 2.0))
+
+let interval_overlap a1 a2 b1 b2 = Float.max 0.0 (Float.min a2 b2 -. Float.max a1 b1)
+
+let overlap_area a b =
+  interval_overlap a.x (a.x +. a.w) b.x (b.x +. b.w)
+  *. interval_overlap a.y (a.y +. a.h) b.y (b.y +. b.h)
+
+(* Two rectangles share boundary when they touch along a vertical or
+   horizontal line; a small tolerance absorbs floating-point placement. *)
+let shared_boundary a b =
+  let eps = 1e-9 in
+  let touch u1 u2 v1 v2 = Float.abs (u2 -. v1) <= eps || Float.abs (v2 -. u1) <= eps in
+  let vertical =
+    if touch a.x (a.x +. a.w) b.x (b.x +. b.w) then
+      interval_overlap a.y (a.y +. a.h) b.y (b.y +. b.h)
+    else 0.0
+  in
+  let horizontal =
+    if touch a.y (a.y +. a.h) b.y (b.y +. b.h) then
+      interval_overlap a.x (a.x +. a.w) b.x (b.x +. b.w)
+    else 0.0
+  in
+  Float.max vertical horizontal
+
+let center_distance a b =
+  let ax, ay = rect_center a and bx, by = rect_center b in
+  Float.hypot (ax -. bx) (ay -. by)

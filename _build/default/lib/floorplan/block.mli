@@ -1,0 +1,28 @@
+(** Floorplan blocks and placed rectangles. *)
+
+type t = {
+  name : string;
+  area : float;       (** m^2, positive *)
+  min_aspect : float; (** lower bound on width/height *)
+  max_aspect : float; (** upper bound on width/height *)
+}
+
+val make : name:string -> area:float -> ?min_aspect:float -> ?max_aspect:float -> unit -> t
+(** Aspect bounds default to [0.5] and [2.0]. Requires
+    [0 < min_aspect <= max_aspect]. *)
+
+type rect = { x : float; y : float; w : float; h : float }
+
+val rect_area : rect -> float
+val rect_center : rect -> float * float
+
+val overlap_area : rect -> rect -> float
+(** Area of the intersection (0 when disjoint). *)
+
+val shared_boundary : rect -> rect -> float
+(** Length of the common boundary of two abutting rectangles — the lateral
+    heat-flow cross-section the thermal model needs. 0 for non-touching or
+    overlapping interiors are not special-cased (callers guarantee a valid
+    placement). *)
+
+val center_distance : rect -> rect -> float

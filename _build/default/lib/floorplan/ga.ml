@@ -1,0 +1,164 @@
+module Rng = Tats_util.Rng
+
+type params = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elite : int;
+}
+
+let default_params =
+  {
+    population = 24;
+    generations = 60;
+    crossover_rate = 0.9;
+    mutation_rate = 0.35;
+    tournament = 3;
+    elite = 2;
+  }
+
+type result = {
+  best_expr : Slicing.expr;
+  best_placement : Placement.t;
+  best_cost : float;
+  history : float array;
+}
+
+let operand_positions expr =
+  let acc = ref [] in
+  Array.iteri
+    (fun i elt -> match elt with Slicing.Op _ -> acc := i :: !acc | Slicing.H | Slicing.V -> ())
+    expr;
+  Array.of_list (List.rev !acc)
+
+(* Keep the cut skeleton of [a]; fill its operand slots with the operands in
+   the order they appear in [b] (an order-crossover specialized to Polish
+   expressions: the result is automatically valid). *)
+let crossover a b =
+  let child = Array.copy a in
+  let order_b =
+    Array.to_list b
+    |> List.filter_map (function Slicing.Op x -> Some x | Slicing.H | Slicing.V -> None)
+  in
+  let slots = operand_positions a in
+  List.iteri (fun k x -> child.(slots.(k)) <- Slicing.Op x) order_b;
+  child
+
+let mutate rng expr =
+  let expr = Array.copy expr in
+  let slots = operand_positions expr in
+  let n_ops = Array.length slots in
+  (match Rng.int rng 3 with
+  | 0 when n_ops >= 2 ->
+      (* M1: swap two operands. *)
+      let i = Rng.int rng n_ops and j = Rng.int rng n_ops in
+      let tmp = expr.(slots.(i)) in
+      expr.(slots.(i)) <- expr.(slots.(j));
+      expr.(slots.(j)) <- tmp
+  | 1 ->
+      (* M2: complement a maximal chain of operators starting at a random
+         operator position. *)
+      let len = Array.length expr in
+      let start = Rng.int rng len in
+      let rec flip i =
+        if i < len then
+          match expr.(i) with
+          | Slicing.H ->
+              expr.(i) <- Slicing.V;
+              flip (i + 1)
+          | Slicing.V ->
+              expr.(i) <- Slicing.H;
+              flip (i + 1)
+          | Slicing.Op _ -> ()
+      in
+      let rec seek i = (* find the first operator at or after start *)
+        if i < len then
+          match expr.(i) with Slicing.Op _ -> seek (i + 1) | Slicing.H | Slicing.V -> flip i
+      in
+      seek start
+  | _ ->
+      (* M3: swap an adjacent operand/operator pair when the result keeps the
+         balloting property. *)
+      let len = Array.length expr in
+      let candidates = ref [] in
+      for i = 0 to len - 2 do
+        match (expr.(i), expr.(i + 1)) with
+        | Slicing.Op _, (Slicing.H | Slicing.V) | (Slicing.H | Slicing.V), Slicing.Op _ ->
+            candidates := i :: !candidates
+        | _ -> ()
+      done;
+      let tryswap i =
+        let tmp = expr.(i) in
+        expr.(i) <- expr.(i + 1);
+        expr.(i + 1) <- tmp
+      in
+      (match !candidates with
+      | [] -> ()
+      | l ->
+          let arr = Array.of_list l in
+          let i = arr.(Rng.int rng (Array.length arr)) in
+          tryswap i;
+          (* Revert when the swap broke validity. *)
+          let n_blocks = (len + 1) / 2 in
+          (match Slicing.validate ~n_blocks expr with
+          | Ok () -> ()
+          | Error _ -> tryswap i)));
+  expr
+
+let run ?(params = default_params) ~seed ~blocks ~cost () =
+  let { population; generations; crossover_rate; mutation_rate; tournament; elite } =
+    params
+  in
+  if population < 2 then invalid_arg "Ga.run: population too small";
+  if elite >= population then invalid_arg "Ga.run: elite >= population";
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Ga.run: no blocks";
+  let rng = Rng.create seed in
+  let evaluate expr =
+    let placement = Slicing.evaluate blocks expr in
+    (expr, placement, cost placement)
+  in
+  let pop =
+    ref
+      (Array.init population (fun i ->
+           if i = 0 then evaluate (Slicing.initial n)
+           else evaluate (Slicing.random rng n)))
+  in
+  let by_cost (_, _, c1) (_, _, c2) = compare c1 c2 in
+  Array.sort by_cost !pop;
+  let history = Array.make generations 0.0 in
+  let select () =
+    let best = ref (Rng.int rng population) in
+    for _ = 2 to tournament do
+      let c = Rng.int rng population in
+      let (_, _, cc) = !pop.(c) and (_, _, cb) = !pop.(!best) in
+      if cc < cb then best := c
+    done;
+    let e, _, _ = !pop.(!best) in
+    e
+  in
+  for gen = 0 to generations - 1 do
+    let next = Array.make population !pop.(0) in
+    for i = 0 to elite - 1 do
+      next.(i) <- !pop.(i)
+    done;
+    for i = elite to population - 1 do
+      let a = select () in
+      let child =
+        if Rng.float rng 1.0 < crossover_rate then crossover a (select ())
+        else Array.copy a
+      in
+      let child =
+        if Rng.float rng 1.0 < mutation_rate then mutate rng child else child
+      in
+      next.(i) <- evaluate child
+    done;
+    Array.sort by_cost next;
+    pop := next;
+    let _, _, best_cost = !pop.(0) in
+    history.(gen) <- best_cost
+  done;
+  let best_expr, best_placement, best_cost = !pop.(0) in
+  { best_expr; best_placement; best_cost; history }

@@ -1,0 +1,38 @@
+(** Genetic-algorithm floorplanner (the ISQED'05 [3] substrate).
+
+    Individuals are Polish expressions; fitness is a caller-supplied cost
+    over the evaluated placement (lower is better), letting the co-synthesis
+    flow mix die area, wirelength and peak temperature. Selection is
+    tournament with elitism; crossover recombines the operand order of one
+    parent with the cut structure of the other; mutation swaps operands,
+    complements cut chains, or moves an operator. *)
+
+type params = {
+  population : int;   (** >= 2 *)
+  generations : int;  (** >= 1 *)
+  crossover_rate : float; (** in [0, 1] *)
+  mutation_rate : float;  (** in [0, 1] *)
+  tournament : int;   (** >= 1 *)
+  elite : int;        (** carried over unchanged, < population *)
+}
+
+val default_params : params
+(** population 24, generations 60, crossover 0.9, mutation 0.35,
+    tournament 3, elite 2. *)
+
+type result = {
+  best_expr : Slicing.expr;
+  best_placement : Placement.t;
+  best_cost : float;
+  history : float array; (** best cost after each generation *)
+}
+
+val run :
+  ?params:params ->
+  seed:int ->
+  blocks:Block.t array ->
+  cost:(Placement.t -> float) ->
+  unit ->
+  result
+(** Runs the GA. The initial population contains the canonical chain plus
+    random expressions. Deterministic for a fixed seed. *)

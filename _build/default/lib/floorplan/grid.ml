@@ -1,0 +1,23 @@
+let square_of_area a = sqrt a
+
+let layout blocks =
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Grid.layout: no blocks";
+  let max_area = Array.fold_left (fun acc b -> Float.max acc b.Block.area) 0.0 blocks in
+  let tile = square_of_area max_area in
+  let cols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let rects =
+    Array.mapi
+      (fun i b ->
+        let col = i mod cols and row = i / cols in
+        let side = square_of_area b.Block.area in
+        let margin = (tile -. side) /. 2.0 in
+        {
+          Block.x = (float_of_int col *. tile) +. margin;
+          y = (float_of_int row *. tile) +. margin;
+          w = side;
+          h = side;
+        })
+      blocks
+  in
+  Placement.make ~blocks ~rects

@@ -1,0 +1,13 @@
+(** Fixed grid floorplans for platform-based architectures.
+
+    The paper's platform is four identical PEs; we place them on a
+    near-square grid of abutting square tiles, which gives the thermal model
+    a regular lateral-coupling structure. *)
+
+val layout : Block.t array -> Placement.t
+(** Places [n] blocks on a [ceil(sqrt n)]-wide grid. Each tile is a square
+    sized by the largest block area, so tiles abut exactly (identical blocks
+    tile perfectly; heterogeneous blocks are centered in their tile). *)
+
+val square_of_area : float -> float
+(** Side of the square with the given area. *)

@@ -1,0 +1,64 @@
+type t = {
+  blocks : Block.t array;
+  rects : Block.rect array;
+  die_w : float;
+  die_h : float;
+}
+
+let make ~blocks ~rects =
+  if Array.length blocks <> Array.length rects then
+    invalid_arg "Placement.make: blocks/rects length mismatch";
+  let die_w =
+    Array.fold_left (fun acc r -> Float.max acc (r.Block.x +. r.Block.w)) 0.0 rects
+  in
+  let die_h =
+    Array.fold_left (fun acc r -> Float.max acc (r.Block.y +. r.Block.h)) 0.0 rects
+  in
+  { blocks; rects; die_w; die_h }
+
+let die_area t = t.die_w *. t.die_h
+let blocks_area t = Array.fold_left (fun acc b -> acc +. b.Block.area) 0.0 t.blocks
+
+let dead_space_ratio t =
+  let die = die_area t in
+  if die <= 0.0 then 0.0 else (die -. blocks_area t) /. die
+
+let has_overlap ?(eps = 1e-12) t =
+  let n = Array.length t.rects in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Block.overlap_area t.rects.(i) t.rects.(j) > eps then found := true
+    done
+  done;
+  !found
+
+let total_wirelength ?nets t =
+  let nets =
+    match nets with
+    | Some l -> l
+    | None ->
+        let n = Array.length t.rects in
+        let acc = ref [] in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            acc := (i, j) :: !acc
+          done
+        done;
+        !acc
+  in
+  List.fold_left
+    (fun acc (i, j) -> acc +. Block.center_distance t.rects.(i) t.rects.(j))
+    0.0 nets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>die %.2f x %.2f mm (dead space %.1f%%)@," (t.die_w *. 1e3)
+    (t.die_h *. 1e3)
+    (100.0 *. dead_space_ratio t);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "  %-10s @@ (%.2f, %.2f) %.2f x %.2f mm@,"
+        t.blocks.(i).Block.name (r.Block.x *. 1e3) (r.Block.y *. 1e3)
+        (r.Block.w *. 1e3) (r.Block.h *. 1e3))
+    t.rects;
+  Format.fprintf ppf "@]"

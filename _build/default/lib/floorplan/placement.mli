@@ -1,0 +1,26 @@
+(** A placed floorplan: one rectangle per block, plus the bounding die. *)
+
+type t = {
+  blocks : Block.t array;
+  rects : Block.rect array; (** indexed like [blocks] *)
+  die_w : float;
+  die_h : float;
+}
+
+val make : blocks:Block.t array -> rects:Block.rect array -> t
+(** Computes the die bounding box. Arrays must have equal length. *)
+
+val die_area : t -> float
+val blocks_area : t -> float
+val dead_space_ratio : t -> float
+(** [(die - blocks) / die], in [0, 1). *)
+
+val has_overlap : ?eps:float -> t -> bool
+(** True when any two block interiors intersect by more than [eps] (default
+    1e-12 m^2). *)
+
+val total_wirelength : ?nets:(int * int) list -> t -> float
+(** Half-perimeter-style wirelength: sum of center-to-center distances over
+    [nets] (defaults to all block pairs — a clique approximation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+module Rng = Tats_util.Rng
+
+type params = {
+  initial_temperature : float;
+  cooling : float;
+  moves_per_temperature : int;
+  min_temperature : float;
+}
+
+let default_params =
+  {
+    initial_temperature = 1.0;
+    cooling = 0.92;
+    moves_per_temperature = 64;
+    min_temperature = 1e-4;
+  }
+
+type result = {
+  best_expr : Slicing.expr;
+  best_placement : Placement.t;
+  best_cost : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+(* The classic Wong–Liu move set on Polish expressions. *)
+let propose rng expr =
+  let expr = Array.copy expr in
+  let len = Array.length expr in
+  let operand_positions =
+    Array.of_list
+      (List.filter_map
+         (fun i ->
+           match expr.(i) with
+           | Slicing.Op _ -> Some i
+           | Slicing.H | Slicing.V -> None)
+         (List.init len Fun.id))
+  in
+  (match Rng.int rng 3 with
+  | 0 when Array.length operand_positions >= 2 ->
+      (* M1: swap two adjacent (in operand order) operands. *)
+      let k = Rng.int rng (Array.length operand_positions - 1) in
+      let i = operand_positions.(k) and j = operand_positions.(k + 1) in
+      let tmp = expr.(i) in
+      expr.(i) <- expr.(j);
+      expr.(j) <- tmp
+  | 1 ->
+      (* M2: complement the operator chain after a random position. *)
+      let start = Rng.int rng len in
+      let rec flip i =
+        if i < len then
+          match expr.(i) with
+          | Slicing.H ->
+              expr.(i) <- Slicing.V;
+              flip (i + 1)
+          | Slicing.V ->
+              expr.(i) <- Slicing.H;
+              flip (i + 1)
+          | Slicing.Op _ -> ()
+      in
+      let rec seek i =
+        if i < len then
+          match expr.(i) with
+          | Slicing.Op _ -> seek (i + 1)
+          | Slicing.H | Slicing.V -> flip i
+      in
+      seek start
+  | _ ->
+      (* M3: swap an adjacent operand/operator pair, keeping validity. *)
+      let candidates = ref [] in
+      for i = 0 to len - 2 do
+        match (expr.(i), expr.(i + 1)) with
+        | Slicing.Op _, (Slicing.H | Slicing.V) | (Slicing.H | Slicing.V), Slicing.Op _ ->
+            candidates := i :: !candidates
+        | _ -> ()
+      done;
+      (match !candidates with
+      | [] -> ()
+      | l ->
+          let arr = Array.of_list l in
+          let i = arr.(Rng.int rng (Array.length arr)) in
+          let tmp = expr.(i) in
+          expr.(i) <- expr.(i + 1);
+          expr.(i + 1) <- tmp;
+          let n_blocks = (len + 1) / 2 in
+          (match Slicing.validate ~n_blocks expr with
+          | Ok () -> ()
+          | Error _ ->
+              (* revert *)
+              let tmp = expr.(i) in
+              expr.(i) <- expr.(i + 1);
+              expr.(i + 1) <- tmp)));
+  expr
+
+let run ?(params = default_params) ~seed ~blocks ~cost () =
+  let { initial_temperature; cooling; moves_per_temperature; min_temperature } =
+    params
+  in
+  if initial_temperature <= 0.0 || min_temperature <= 0.0 then
+    invalid_arg "Sa.run: non-positive temperature";
+  if cooling <= 0.0 || cooling >= 1.0 then invalid_arg "Sa.run: cooling not in (0,1)";
+  if moves_per_temperature < 1 then invalid_arg "Sa.run: no moves per temperature";
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Sa.run: no blocks";
+  let rng = Rng.create seed in
+  let evaluate expr = cost (Slicing.evaluate blocks expr) in
+  let current = ref (Slicing.initial n) in
+  let current_cost = ref (evaluate !current) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let tried = ref 0 and accepted = ref 0 in
+  let temperature = ref initial_temperature in
+  while !temperature > min_temperature do
+    for _ = 1 to moves_per_temperature do
+      incr tried;
+      let candidate = propose rng !current in
+      let candidate_cost = evaluate candidate in
+      let delta = candidate_cost -. !current_cost in
+      let accept =
+        delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        incr accepted;
+        current := candidate;
+        current_cost := candidate_cost;
+        if candidate_cost < !best_cost then begin
+          best := candidate;
+          best_cost := candidate_cost
+        end
+      end
+    done;
+    temperature := !temperature *. cooling
+  done;
+  {
+    best_expr = !best;
+    best_placement = Slicing.evaluate blocks !best;
+    best_cost = !best_cost;
+    moves_tried = !tried;
+    moves_accepted = !accepted;
+  }

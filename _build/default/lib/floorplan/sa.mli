@@ -1,0 +1,36 @@
+(** Simulated-annealing floorplanner over the same slicing-tree encoding as
+    the GA — the comparator the ISQED'05 floorplanning paper [3] measures
+    its genetic algorithm against (Wong–Liu style annealing on Polish
+    expressions).
+
+    Shares {!Slicing}'s move set with {!Ga} (operand swap, chain complement,
+    operand/operator swap), accepts uphill moves with probability
+    [exp (-delta / temperature)], and cools geometrically. *)
+
+type params = {
+  initial_temperature : float; (** > 0; in units of the cost function *)
+  cooling : float;             (** geometric factor in (0, 1) *)
+  moves_per_temperature : int; (** > 0 *)
+  min_temperature : float;     (** stop threshold, > 0 *)
+}
+
+val default_params : params
+(** 1.0 / 0.92 / 64 / 1e-4 — roughly the same move budget as
+    {!Ga.default_params}. *)
+
+type result = {
+  best_expr : Slicing.expr;
+  best_placement : Placement.t;
+  best_cost : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+val run :
+  ?params:params ->
+  seed:int ->
+  blocks:Block.t array ->
+  cost:(Placement.t -> float) ->
+  unit ->
+  result
+(** Deterministic for a fixed seed. Starts from the canonical chain. *)

@@ -1,0 +1,175 @@
+module Rng = Tats_util.Rng
+
+type elt = Op of int | H | V
+type expr = elt array
+
+let validate ~n_blocks expr =
+  let n = Array.length expr in
+  if n <> (2 * n_blocks) - 1 then Error "wrong length"
+  else begin
+    let seen = Array.make n_blocks false in
+    let rec scan i operands operators =
+      if i >= n then
+        if operands = n_blocks && operators = n_blocks - 1 then Ok ()
+        else Error "wrong operand/operator counts"
+      else
+        match expr.(i) with
+        | Op b ->
+            if b < 0 || b >= n_blocks then Error "operand out of range"
+            else if seen.(b) then Error "repeated operand"
+            else begin
+              seen.(b) <- true;
+              scan (i + 1) (operands + 1) operators
+            end
+        | H | V ->
+            (* The operator consumes two stacked sub-floorplans. *)
+            if operands - operators < 2 then Error "balloting violation"
+            else scan (i + 1) operands (operators + 1)
+    in
+    scan 0 0 0
+  end
+
+let initial n =
+  assert (n >= 1);
+  let expr = Array.make ((2 * n) - 1) (Op 0) in
+  expr.(0) <- Op 0;
+  for b = 1 to n - 1 do
+    expr.((2 * b) - 1) <- Op b;
+    expr.(2 * b) <- V
+  done;
+  expr
+
+(* --- Sizing ------------------------------------------------------------ *)
+
+(* A shape option of a subtree: its bounding dimensions plus which child
+   options realize it (for reconstruction). *)
+type shape = { w : float; h : float; pick_l : int; pick_r : int }
+
+type node =
+  | Leaf of int * shape array
+  | Cut of elt * node * node * shape array
+
+let shapes_of node = match node with Leaf (_, s) | Cut (_, _, _, s) -> s
+
+(* Keep the Pareto frontier: sort by width, keep strictly decreasing
+   heights. *)
+let prune options =
+  let arr = Array.of_list options in
+  Array.sort (fun a b -> compare (a.w, a.h) (b.w, b.h)) arr;
+  let keep = ref [] in
+  Array.iter
+    (fun s ->
+      match !keep with
+      | best :: _ when s.h >= best.h -> ()
+      | _ -> keep := s :: !keep)
+    arr;
+  Array.of_list (List.rev !keep)
+
+let leaf_shapes ?(shapes_per_block = 5) (b : Block.t) =
+  let k = Stdlib.max 1 shapes_per_block in
+  let options =
+    List.init k (fun i ->
+        let t = if k = 1 then 0.5 else float_of_int i /. float_of_int (k - 1) in
+        (* Geometric interpolation across the aspect range. *)
+        let aspect = b.Block.min_aspect *. ((b.Block.max_aspect /. b.Block.min_aspect) ** t) in
+        let w = sqrt (b.Block.area *. aspect) in
+        let h = b.Block.area /. w in
+        { w; h; pick_l = -1; pick_r = -1 })
+  in
+  prune options
+
+let combine op left right =
+  let ls = shapes_of left and rs = shapes_of right in
+  let options = ref [] in
+  Array.iteri
+    (fun i l ->
+      Array.iteri
+        (fun j r ->
+          let shape =
+            match op with
+            | H -> { w = Float.max l.w r.w; h = l.h +. r.h; pick_l = i; pick_r = j }
+            | V -> { w = l.w +. r.w; h = Float.max l.h r.h; pick_l = i; pick_r = j }
+            | Op _ -> assert false
+          in
+          options := shape :: !options)
+        rs)
+    ls;
+  prune !options
+
+let build_tree ?shapes_per_block blocks expr =
+  let stack = ref [] in
+  Array.iter
+    (fun elt ->
+      match elt with
+      | Op b -> stack := Leaf (b, leaf_shapes ?shapes_per_block blocks.(b)) :: !stack
+      | (H | V) as op -> begin
+          match !stack with
+          | right :: left :: rest ->
+              stack := Cut (op, left, right, combine op left right) :: rest
+          | _ -> assert false (* validate ruled this out *)
+        end)
+    expr;
+  match !stack with [ root ] -> root | _ -> assert false
+
+(* Walk the tree assigning rectangles; for an H cut the left child sits
+   below the right one, for a V cut the left child sits to the left. *)
+let rec place rects node pick x y =
+  match node with
+  | Leaf (b, shapes) ->
+      let s = shapes.(pick) in
+      rects.(b) <- { Block.x; y; w = s.w; h = s.h }
+  | Cut (op, left, right, shapes) -> begin
+      let s = shapes.(pick) in
+      let ls = (shapes_of left).(s.pick_l) in
+      place rects left s.pick_l x y;
+      match op with
+      | H -> place rects right s.pick_r x (y +. ls.h)
+      | V -> place rects right s.pick_r (x +. ls.w) y
+      | Op _ -> assert false
+    end
+
+let evaluate ?shapes_per_block blocks expr =
+  (match validate ~n_blocks:(Array.length blocks) expr with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Slicing.evaluate: " ^ msg));
+  let root = build_tree ?shapes_per_block blocks expr in
+  let shapes = shapes_of root in
+  let best = ref 0 in
+  Array.iteri
+    (fun i s -> if s.w *. s.h < shapes.(!best).w *. shapes.(!best).h then best := i)
+    shapes;
+  let rects = Array.make (Array.length blocks) { Block.x = 0.; y = 0.; w = 0.; h = 0. } in
+  place rects root !best 0.0 0.0;
+  Placement.make ~blocks ~rects
+
+let random rng n =
+  assert (n >= 1);
+  let operands = Array.init n (fun i -> i) in
+  Rng.shuffle rng operands;
+  let expr = Array.make ((2 * n) - 1) (Op operands.(0)) in
+  (* Random interleaving respecting the balloting property. *)
+  let next_operand = ref 1 and placed_ops = ref 0 in
+  for i = 1 to Array.length expr - 1 do
+    let remaining_operands = n - !next_operand in
+    let can_operator = !next_operand > !placed_ops + 1 && !placed_ops < n - 1 in
+    let must_operator = remaining_operands = 0 in
+    let use_operator = must_operator || (can_operator && Rng.bool rng) in
+    if use_operator then begin
+      expr.(i) <- (if Rng.bool rng then H else V);
+      incr placed_ops
+    end
+    else begin
+      expr.(i) <- Op operands.(!next_operand);
+      incr next_operand
+    end
+  done;
+  expr
+
+let pp ppf expr =
+  Array.iter
+    (fun elt ->
+      match elt with
+      | Op b -> Format.fprintf ppf "%d " b
+      | H -> Format.fprintf ppf "H "
+      | V -> Format.fprintf ppf "V ")
+    expr

@@ -1,0 +1,29 @@
+(** Slicing floorplans encoded as Polish (postfix) expressions.
+
+    An expression over [n] blocks has [n] operands and [n-1] cut operators;
+    [H] stacks its two sub-floorplans vertically, [V] places them side by
+    side. Every prefix must contain more operands than operators (the
+    balloting property). Sizing uses discrete shape curves per block
+    (several aspect ratios within the block's bounds) with dominated shapes
+    pruned at every combine — Stockmeyer's algorithm on a fixed tree. *)
+
+type elt = Op of int (** operand: block index *) | H | V
+
+type expr = elt array
+
+val validate : n_blocks:int -> expr -> (unit, string) result
+(** Checks length, operand permutation, and the balloting property. *)
+
+val initial : int -> expr
+(** [initial n] is the canonical chain [b0 b1 V b2 V ...] (all side by
+    side). Requires [n >= 1]. *)
+
+val evaluate : ?shapes_per_block:int -> Block.t array -> expr -> Placement.t
+(** Sizes and places the expression, choosing the minimum-die-area shape
+    combination. [shapes_per_block] (default 5) controls the shape-curve
+    granularity. Raises [Invalid_argument] on an invalid expression. *)
+
+val random : Tats_util.Rng.t -> int -> expr
+(** A random valid expression over [n] blocks. *)
+
+val pp : Format.formatter -> expr -> unit

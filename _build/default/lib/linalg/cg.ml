@@ -1,0 +1,53 @@
+type stats = { iterations : int; residual_norm : float }
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let norm v = sqrt (dot v v)
+
+let axpy alpha x y =
+  (* y <- y + alpha * x *)
+  Array.iteri (fun i xi -> y.(i) <- y.(i) +. (alpha *. xi)) x
+
+let solve ?x0 ?(tol = 1e-10) ?max_iter ?(jacobi = true) a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Cg.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Cg.solve: size mismatch";
+  let max_iter = match max_iter with Some m -> m | None -> 10 * Stdlib.max n 1 in
+  let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  let inv_diag =
+    if jacobi then
+      Array.map (fun d -> if Float.abs d > 0.0 then 1.0 /. d else 1.0) (Sparse.diag a)
+    else Array.make n 1.0
+  in
+  let precondition r = Array.mapi (fun i ri -> inv_diag.(i) *. ri) r in
+  let r = Array.copy b in
+  axpy (-1.0) (Sparse.mul_vec a x) r;
+  let z = precondition r in
+  let p = Array.copy z in
+  let rz = ref (dot r z) in
+  let b_norm = Float.max (norm b) 1e-300 in
+  let rec loop k =
+    let res = norm r in
+    if res <= tol *. b_norm then { iterations = k; residual_norm = res }
+    else if k >= max_iter then
+      failwith
+        (Printf.sprintf "Cg.solve: no convergence after %d iterations (residual %g)"
+           k res)
+    else begin
+      let ap = Sparse.mul_vec a p in
+      let alpha = !rz /. dot p ap in
+      axpy alpha p x;
+      axpy (-.alpha) ap r;
+      let z = precondition r in
+      let rz' = dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      Array.iteri (fun i zi -> p.(i) <- zi +. (beta *. p.(i))) z;
+      loop (k + 1)
+    end
+  in
+  let stats = loop 0 in
+  (x, stats)

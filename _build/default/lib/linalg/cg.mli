@@ -1,0 +1,19 @@
+(** Conjugate-gradient solver for symmetric positive-definite sparse systems,
+    with optional Jacobi (diagonal) preconditioning.
+
+    Thermal conductance matrices are SPD by construction, which makes CG the
+    natural solver for the grid-mode thermal model. *)
+
+type stats = { iterations : int; residual_norm : float }
+
+val solve :
+  ?x0:float array ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?jacobi:bool ->
+  Sparse.t ->
+  float array ->
+  float array * stats
+(** [solve a b] returns [(x, stats)] with [||A x - b|| <= tol * ||b||] when
+    converged. [tol] defaults to [1e-10], [max_iter] to [10 * n], [jacobi] to
+    [true]. Raises [Failure] if the iteration fails to converge. *)

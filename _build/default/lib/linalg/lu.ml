@@ -1,0 +1,92 @@
+type t = {
+  lu : Matrix.t; (* L below the diagonal (unit diag implicit), U on and above *)
+  perm : int array;
+  sign : float;
+}
+
+exception Singular
+
+let factor a =
+  if Matrix.rows a <> Matrix.cols a then invalid_arg "Lu.factor: not square";
+  let n = Matrix.rows a in
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the largest magnitude in column k. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get lu i k) > Float.abs (Matrix.get lu !pivot_row k)
+      then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot_row j);
+        Matrix.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Matrix.get lu k k in
+    if Float.abs pivot < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pivot in
+      Matrix.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Matrix.set lu i j (Matrix.get lu i j -. (factor *. Matrix.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; _ } b =
+  let n = Matrix.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: size mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Matrix.get lu i i
+  done;
+  x
+
+let solve a b = solve_factored (factor a) b
+
+let det { lu; sign; _ } =
+  let n = Matrix.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get lu i i
+  done;
+  !d
+
+let inverse a =
+  let n = Matrix.rows a in
+  let f = factor a in
+  let inv = Matrix.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let col = solve_factored f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j col.(i)
+    done
+  done;
+  inv
+
+let residual a x b =
+  let ax = Matrix.mul_vec a x in
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i)))) ax;
+  !worst

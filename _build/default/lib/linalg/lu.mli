@@ -1,0 +1,29 @@
+(** LU factorization with partial pivoting, and linear-system solving.
+
+    The thermal model factors its conductance matrix once and back-solves for
+    every power inquiry the scheduler makes, so factorization and solving are
+    exposed separately. *)
+
+type t
+(** A factored square matrix. *)
+
+exception Singular
+(** Raised when the matrix is (numerically) singular. *)
+
+val factor : Matrix.t -> t
+(** [factor a] computes [P*A = L*U]. Raises [Singular] if a zero pivot is
+    encountered, and [Invalid_argument] if [a] is not square. *)
+
+val solve_factored : t -> float array -> float array
+(** [solve_factored lu b] solves [A x = b] in O(n^2). *)
+
+val solve : Matrix.t -> float array -> float array
+(** One-shot [factor] + [solve_factored]. *)
+
+val det : t -> float
+(** Determinant, from the factored form. *)
+
+val inverse : Matrix.t -> Matrix.t
+
+val residual : Matrix.t -> float array -> float array -> float
+(** [residual a x b] is [max_i |(A x - b)_i|] — a cheap solution check. *)

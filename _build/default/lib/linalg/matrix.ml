@@ -1,0 +1,97 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  assert (rows >= 0 && cols >= 0);
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length a.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> cols then
+          invalid_arg "Matrix.of_arrays: ragged input")
+      a;
+    init rows cols (fun i j -> a.(i).(j))
+  end
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          add_to c i j (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k x -> worst := Float.max !worst (Float.abs (x -. b.data.(k))))
+    a.data;
+  !worst
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done;
+    Format.fprintf ppf "@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Dense row-major float matrices.
+
+    Sized for the compact thermal model: networks of a few tens of nodes,
+    where a dense LU factorization is both simplest and fastest. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is a zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_arrays : float array array -> t
+(** Copies a rectangular array-of-rows. Raises [Invalid_argument] on ragged
+    input. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] is [set m i j (get m i j +. x)]. *)
+
+val copy : t -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product. Raises [Invalid_argument] on dimension mismatch. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product. *)
+
+val frobenius : t -> float
+(** Frobenius norm. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest entrywise absolute difference (for approximate equality). *)
+
+val pp : Format.formatter -> t -> unit

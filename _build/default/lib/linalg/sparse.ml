@@ -1,0 +1,91 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let of_triplets ~rows ~cols triplets =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse.of_triplets: index out of range")
+    triplets;
+  (* Sort by (row, col) then merge duplicates. *)
+  let sorted =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+      triplets
+  in
+  let merged =
+    List.fold_left
+      (fun acc (i, j, v) ->
+        match acc with
+        | (i', j', v') :: rest when i = i' && j = j' -> (i, j, v +. v') :: rest
+        | _ -> (i, j, v) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let n = List.length merged in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    merged;
+  for i = 1 to rows do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = Array.length t.values
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let rec scan k =
+    if k >= t.row_ptr.(i + 1) then 0.0
+    else if t.col_idx.(k) = j then t.values.(k)
+    else scan (k + 1)
+  in
+  scan t.row_ptr.(i)
+
+let mul_vec t v =
+  if Array.length v <> t.cols then invalid_arg "Sparse.mul_vec: size mismatch";
+  Array.init t.rows (fun i ->
+      let acc = ref 0.0 in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. v.(t.col_idx.(k)))
+      done;
+      !acc)
+
+let diag t =
+  Array.init (Stdlib.min t.rows t.cols) (fun i -> get t i i)
+
+let to_dense t =
+  let m = Matrix.create t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Matrix.add_to m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let is_symmetric ?(eps = 1e-9) t =
+  if t.rows <> t.cols then false
+  else begin
+    let ok = ref true in
+    for i = 0 to t.rows - 1 do
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = t.col_idx.(k) in
+        if Float.abs (t.values.(k) -. get t j i) > eps then ok := false
+      done
+    done;
+    !ok
+  end

@@ -1,0 +1,27 @@
+(** Compressed-sparse-row matrices.
+
+    Used by the grid-mode thermal solver, where the conductance matrix of an
+    m-by-n cell discretization is far too large (and too sparse) for the dense
+    path. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Builds a CSR matrix from (row, col, value) triplets. Duplicate (row, col)
+    entries are summed. *)
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** O(row nnz) lookup; 0.0 when absent. *)
+
+val mul_vec : t -> float array -> float array
+
+val diag : t -> float array
+(** Diagonal entries (0.0 where absent). *)
+
+val to_dense : t -> Matrix.t
+
+val is_symmetric : ?eps:float -> t -> bool

@@ -1,0 +1,1 @@
+lib/render/visuals.ml: Array Float Fun Printf Svg Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

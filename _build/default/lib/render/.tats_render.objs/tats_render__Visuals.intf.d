@@ -1,0 +1,1 @@
+lib/render/visuals.mli: Tats_floorplan Tats_sched Tats_techlib Tats_thermal

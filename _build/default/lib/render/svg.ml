@@ -1,0 +1,75 @@
+type t = { width : float; height : float; buf : Buffer.t }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let create ~width ~height =
+  if width <= 0.0 || height <= 0.0 then invalid_arg "Svg.create: bad dimensions";
+  { width; height; buf = Buffer.create 4096 }
+
+let rect t ~x ~y ~w ~h ?(fill = "#dddddd") ?(stroke = "#333333")
+    ?(stroke_width = 1.0) ?title () =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" \
+        stroke=\"%s\" stroke-width=\"%.2f\"%s\n"
+       x y w h (escape fill) (escape stroke) stroke_width
+       (match title with
+       | None -> "/>"
+       | Some s -> Printf.sprintf "><title>%s</title></rect>" (escape s)))
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(stroke = "#333333") ?(stroke_width = 1.0) () =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" \
+        stroke-width=\"%.2f\"/>\n"
+       x1 y1 x2 y2 (escape stroke) stroke_width)
+
+let text t ~x ~y ?(size = 12.0) ?(fill = "#000000") ?(anchor = "start") s =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" fill=\"%s\" \
+        text-anchor=\"%s\" font-family=\"sans-serif\">%s</text>\n"
+       x y size (escape fill) (escape anchor) (escape s))
+
+let to_string t =
+  Printf.sprintf
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+     <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n%s</svg>\n"
+    t.width t.height t.width t.height (Buffer.contents t.buf)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* Piecewise-linear blue -> cyan -> yellow -> red ramp. *)
+let heat_color f =
+  let f = Float.max 0.0 (Float.min 1.0 f) in
+  let lerp a b t = a +. ((b -. a) *. t) in
+  let r, g, b =
+    if f < 0.33 then (lerp 0.1 0.0 (f /. 0.33), lerp 0.2 0.8 (f /. 0.33), 0.9)
+    else if f < 0.66 then
+      let t = (f -. 0.33) /. 0.33 in
+      (lerp 0.0 0.95 t, lerp 0.8 0.85 t, lerp 0.9 0.1 t)
+    else
+      let t = (f -. 0.66) /. 0.34 in
+      (lerp 0.95 0.85 t, lerp 0.85 0.1 t, 0.1)
+  in
+  Printf.sprintf "#%02x%02x%02x"
+    (int_of_float (255.0 *. r))
+    (int_of_float (255.0 *. g))
+    (int_of_float (255.0 *. b))

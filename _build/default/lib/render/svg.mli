@@ -1,0 +1,37 @@
+(** Minimal SVG writer (no dependencies): enough structure for floorplans,
+    heat maps and Gantt charts, with proper XML escaping. *)
+
+type t
+(** An SVG document under construction. *)
+
+val create : width:float -> height:float -> t
+(** Dimensions in user units (pixels). *)
+
+val rect :
+  t ->
+  x:float ->
+  y:float ->
+  w:float ->
+  h:float ->
+  ?fill:string ->
+  ?stroke:string ->
+  ?stroke_width:float ->
+  ?title:string ->
+  unit ->
+  unit
+(** [title] becomes a child <title> (hover tooltip in browsers). *)
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> ?stroke:string ->
+  ?stroke_width:float -> unit -> unit
+
+val text :
+  t -> x:float -> y:float -> ?size:float -> ?fill:string -> ?anchor:string ->
+  string -> unit
+
+val to_string : t -> string
+val save : t -> string -> unit
+
+val heat_color : float -> string
+(** [heat_color f] with [f] in [0, 1]: a blue→red thermal ramp as
+    ["#rrggbb"]. Clamped outside the range. *)

@@ -1,0 +1,131 @@
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+module Schedule = Tats_sched.Schedule
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Gridmodel = Tats_thermal.Gridmodel
+module Stats = Tats_util.Stats
+
+let normalize temps =
+  let lo = Stats.min temps and hi = Stats.max temps in
+  let span = Float.max (hi -. lo) 1e-9 in
+  (lo, hi, fun t -> (t -. lo) /. span)
+
+let legend svg ~x ~y ~lo ~hi =
+  let steps = 24 in
+  let w = 160.0 and h = 12.0 in
+  for i = 0 to steps - 1 do
+    let f = float_of_int i /. float_of_int (steps - 1) in
+    Svg.rect svg
+      ~x:(x +. (f *. (w -. (w /. float_of_int steps))))
+      ~y ~w:(w /. float_of_int steps) ~h ~fill:(Svg.heat_color f) ~stroke:"none"
+      ~stroke_width:0.0 ()
+  done;
+  Svg.text svg ~x ~y:(y +. h +. 14.0) ~size:11.0 (Printf.sprintf "%.1f °C" lo);
+  Svg.text svg ~x:(x +. w) ~y:(y +. h +. 14.0) ~size:11.0 ~anchor:"end"
+    (Printf.sprintf "%.1f °C" hi)
+
+let floorplan ?temps ?(canvas = 480.0) (p : Placement.t) =
+  let margin = 20.0 in
+  let footer = match temps with Some _ -> 50.0 | None -> 0.0 in
+  let scale = (canvas -. (2.0 *. margin)) /. Float.max p.Placement.die_w 1e-12 in
+  let height = (p.Placement.die_h *. scale) +. (2.0 *. margin) +. footer in
+  let svg = Svg.create ~width:canvas ~height in
+  let ramp =
+    match temps with
+    | Some ts ->
+        let lo, hi, f = normalize ts in
+        legend svg ~x:margin ~y:(height -. 36.0) ~lo ~hi;
+        Some (ts, f)
+    | None -> None
+  in
+  (* Die outline. *)
+  Svg.rect svg ~x:margin ~y:margin ~w:(p.Placement.die_w *. scale)
+    ~h:(p.Placement.die_h *. scale) ~fill:"#f7f7f7" ~stroke:"#000000"
+    ~stroke_width:1.5 ();
+  Array.iteri
+    (fun i r ->
+      let x = margin +. (r.Block.x *. scale) in
+      (* SVG's y axis grows downward; flip so (0,0) is bottom-left. *)
+      let y = margin +. ((p.Placement.die_h -. r.Block.y -. r.Block.h) *. scale) in
+      let w = r.Block.w *. scale and h = r.Block.h *. scale in
+      let fill, label =
+        match ramp with
+        | Some (ts, f) ->
+            ( Svg.heat_color (f ts.(i)),
+              Printf.sprintf "%s (%.1f °C)" p.Placement.blocks.(i).Block.name ts.(i) )
+        | None -> ("#cfe2f3", p.Placement.blocks.(i).Block.name)
+      in
+      Svg.rect svg ~x ~y ~w ~h ~fill ~title:label ();
+      if w > 40.0 && h > 14.0 then
+        Svg.text svg ~x:(x +. (w /. 2.0)) ~y:(y +. (h /. 2.0) +. 4.0) ~size:10.0
+          ~anchor:"middle" p.Placement.blocks.(i).Block.name)
+    p.Placement.rects;
+  Svg.to_string svg
+
+let gantt ?(canvas = 720.0) (s : Schedule.t) =
+  let lane_h = 28.0 and margin = 40.0 and header = 24.0 in
+  let n = Schedule.n_pes s in
+  let deadline = Graph.deadline s.Schedule.graph in
+  let horizon = Float.max s.Schedule.makespan deadline *. 1.02 in
+  let scale = (canvas -. margin -. 10.0) /. Float.max horizon 1e-9 in
+  let height = header +. (float_of_int n *. lane_h) +. 30.0 in
+  let svg = Svg.create ~width:canvas ~height in
+  for pe = 0 to n - 1 do
+    let y = header +. (float_of_int pe *. lane_h) in
+    Svg.text svg ~x:4.0 ~y:(y +. (lane_h /. 2.0) +. 4.0) ~size:11.0
+      (Printf.sprintf "PE%d" pe);
+    Svg.line svg ~x1:margin ~y1:(y +. lane_h) ~x2:canvas ~y2:(y +. lane_h)
+      ~stroke:"#cccccc" ()
+  done;
+  Array.iter
+    (fun (e : Schedule.entry) ->
+      let x = margin +. (e.Schedule.start *. scale) in
+      let w = Float.max 1.0 ((e.Schedule.finish -. e.Schedule.start) *. scale) in
+      let y = header +. (float_of_int e.Schedule.pe *. lane_h) +. 3.0 in
+      let name = (Graph.task s.Schedule.graph e.Schedule.task).Tats_taskgraph.Task.name in
+      Svg.rect svg ~x ~y ~w ~h:(lane_h -. 6.0) ~fill:"#9fc5e8"
+        ~title:(Printf.sprintf "%s: %.0f-%.0f" name e.Schedule.start e.Schedule.finish)
+        ();
+      if w > 24.0 then
+        Svg.text svg ~x:(x +. (w /. 2.0)) ~y:(y +. 14.0) ~size:9.0 ~anchor:"middle" name)
+    s.Schedule.entries;
+  (* Deadline marker. *)
+  let xd = margin +. (deadline *. scale) in
+  Svg.line svg ~x1:xd ~y1:header ~x2:xd
+    ~y2:(header +. (float_of_int n *. lane_h))
+    ~stroke:"#cc0000" ~stroke_width:2.0 ();
+  Svg.text svg ~x:xd ~y:(header -. 6.0) ~size:10.0 ~fill:"#cc0000" ~anchor:"middle"
+    (Printf.sprintf "deadline %.0f" deadline);
+  Svg.text svg ~x:margin ~y:14.0 ~size:12.0
+    (Printf.sprintf "%s — makespan %.1f" (Graph.name s.Schedule.graph)
+       s.Schedule.makespan);
+  Svg.to_string svg
+
+let heat_map ?(canvas = 480.0) grid ~power =
+  let cells = Gridmodel.cell_temperatures grid ~power in
+  let ny = Array.length cells and nx = Array.length cells.(0) in
+  let all = Array.concat (Array.to_list cells) in
+  let lo, hi, f = normalize all in
+  let margin = 16.0 and footer = 50.0 in
+  let cell = (canvas -. (2.0 *. margin)) /. float_of_int nx in
+  let height = (float_of_int ny *. cell) +. (2.0 *. margin) +. footer in
+  let svg = Svg.create ~width:canvas ~height in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 1 do
+      let t = cells.(iy).(ix) in
+      Svg.rect svg
+        ~x:(margin +. (float_of_int ix *. cell))
+        ~y:(margin +. (float_of_int (ny - 1 - iy) *. cell))
+        ~w:(cell +. 0.5) ~h:(cell +. 0.5) ~fill:(Svg.heat_color (f t)) ~stroke:"none"
+        ~stroke_width:0.0
+        ~title:(Printf.sprintf "%.1f °C" t)
+        ()
+    done
+  done;
+  legend svg ~x:margin ~y:(height -. 36.0) ~lo ~hi;
+  Svg.to_string svg
+
+let save doc ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,27 @@
+(** Ready-made renderings of the library's main artifacts.
+
+    Each function returns a complete SVG document string; [save_*] variants
+    write it to a file. *)
+
+module Placement = Tats_floorplan.Placement
+module Schedule = Tats_sched.Schedule
+module Library = Tats_techlib.Library
+module Gridmodel = Tats_thermal.Gridmodel
+
+val floorplan :
+  ?temps:float array ->
+  ?canvas:float ->
+  Placement.t ->
+  string
+(** Blocks drawn to scale with their names; with [temps] (one per block,
+    °C) they are colored on the thermal ramp and annotated, and a legend
+    shows the range. [canvas] is the image width in px (default 480). *)
+
+val gantt : ?canvas:float -> Schedule.t -> string
+(** One lane per PE, tasks as labelled boxes, the deadline as a red line. *)
+
+val heat_map : ?canvas:float -> Gridmodel.t -> power:float array -> string
+(** Grid-model cell temperatures as colored tiles with a range legend. *)
+
+val save : string -> path:string -> unit
+(** Write any of the above documents to disk. *)

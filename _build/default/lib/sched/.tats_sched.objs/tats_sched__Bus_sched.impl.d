@@ -1,0 +1,1 @@
+lib/sched/bus_sched.ml: Array Dc Float Int List Policy Printf Schedule Set Tats_taskgraph Tats_techlib

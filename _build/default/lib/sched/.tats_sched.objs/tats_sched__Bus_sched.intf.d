@@ -1,0 +1,1 @@
+lib/sched/bus_sched.mli: Policy Schedule Tats_taskgraph Tats_techlib

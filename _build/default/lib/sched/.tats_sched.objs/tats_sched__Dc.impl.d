@@ -1,0 +1,1 @@
+lib/sched/dc.ml: Tats_taskgraph Tats_techlib

@@ -1,0 +1,1 @@
+lib/sched/dc.mli: Tats_taskgraph Tats_techlib

@@ -1,0 +1,1 @@
+lib/sched/dtm.ml: Array Float List Schedule Tats_linalg Tats_taskgraph Tats_techlib Tats_thermal

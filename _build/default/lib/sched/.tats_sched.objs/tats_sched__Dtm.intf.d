@@ -1,0 +1,1 @@
+lib/sched/dtm.mli: Schedule Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/sched/dvs.ml: Array Float List Metrics Schedule Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+lib/sched/dvs.mli: Metrics Schedule Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/sched/heft.ml: Array Dc Float List Schedule Tats_taskgraph Tats_techlib

@@ -1,0 +1,1 @@
+lib/sched/heft.mli: Schedule Tats_taskgraph Tats_techlib

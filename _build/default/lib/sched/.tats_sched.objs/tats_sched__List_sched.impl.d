@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Dc Float Int List Option Policy Schedule Set Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Policy Schedule Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/sched/metrics.ml: Array Float Format List Schedule Stdlib Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+lib/sched/metrics.mli: Format Schedule Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/sched/montecarlo.ml: Array Float Fun List Schedule Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+lib/sched/montecarlo.mli: Schedule Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+lib/sched/periodic.ml: Array Dc Float Hashtbl Int List List_sched Metrics Option Policy Set Tats_taskgraph Tats_techlib Tats_thermal Tats_util

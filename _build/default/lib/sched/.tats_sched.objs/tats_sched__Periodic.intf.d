@@ -1,0 +1,1 @@
+lib/sched/periodic.mli: Metrics Policy Tats_taskgraph Tats_techlib Tats_thermal

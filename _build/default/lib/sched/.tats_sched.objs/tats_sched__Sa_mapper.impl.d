@@ -1,0 +1,1 @@
+lib/sched/sa_mapper.ml: Array Float Fun List List_sched Metrics Policy Schedule Set Tats_taskgraph Tats_techlib Tats_thermal Tats_util

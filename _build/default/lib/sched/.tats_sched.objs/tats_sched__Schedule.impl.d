@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Float Format List Tats_taskgraph Tats_techlib

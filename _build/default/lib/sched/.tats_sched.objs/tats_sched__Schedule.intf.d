@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Tats_taskgraph Tats_techlib

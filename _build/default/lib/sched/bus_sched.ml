@@ -1,0 +1,188 @@
+module Graph = Tats_taskgraph.Graph
+module Task = Tats_taskgraph.Task
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Comm = Tats_techlib.Comm
+
+type transfer = { edge : Graph.edge; bus_start : float; bus_finish : float }
+
+type result = { schedule : Schedule.t; transfers : transfer list }
+
+let run ?weights ~graph ~lib ~pes ~policy () =
+  (match policy with
+  | Policy.Thermal_aware ->
+      invalid_arg "Bus_sched.run: thermal policy not supported on the bus model"
+  | Policy.Baseline | Policy.Power_aware _ -> ());
+  let n = Graph.n_tasks graph in
+  let weights =
+    match weights with
+    | Some w -> w
+    | None -> Policy.default_weights ~deadline:(Graph.deadline graph)
+  in
+  let comm = Library.comm lib in
+  let sc = Dc.static_criticality lib graph in
+  let entries : Schedule.entry option array = Array.make n None in
+  let pe_avail = Array.make (Array.length pes) 0.0 in
+  let pe_energy = Array.make (Array.length pes) 0.0 in
+  let bus_avail = ref 0.0 in
+  let transfers = ref [] in
+  (* Data arrival for committed predecessors, optimistic about the bus. *)
+  let estimated_ready task pe =
+    List.fold_left
+      (fun acc (pred, data) ->
+        match entries.(pred) with
+        | None -> assert false
+        | Some e ->
+            let delay = Comm.delay comm ~data ~same_pe:(e.Schedule.pe = pe) in
+            Float.max acc (e.Schedule.finish +. delay))
+      0.0 (Graph.preds graph task)
+  in
+  (* Exact arrival: transfers of this task's inputs are scheduled on the
+     bus, first-come in predecessor order, each after both the producer's
+     finish and the bus becoming free. *)
+  let commit_transfers task pe =
+    List.fold_left
+      (fun acc (pred, data) ->
+        match entries.(pred) with
+        | None -> assert false
+        | Some e ->
+            if e.Schedule.pe = pe || data <= 0.0 then
+              Float.max acc e.Schedule.finish
+            else begin
+              let duration = Comm.delay comm ~data ~same_pe:false in
+              let bus_start = Float.max e.Schedule.finish !bus_avail in
+              let bus_finish = bus_start +. duration in
+              bus_avail := bus_finish;
+              transfers :=
+                { edge = { Graph.src = pred; dst = task; data }; bus_start; bus_finish }
+                :: !transfers;
+              Float.max acc bus_finish
+            end)
+      0.0 (Graph.preds graph task)
+  in
+  let unscheduled_preds = Array.init n (fun v -> List.length (Graph.preds graph v)) in
+  let module Iset = Set.Make (Int) in
+  let ready =
+    ref (List.fold_left (fun s v -> Iset.add v s) Iset.empty (Graph.sources graph))
+  in
+  let scheduled = ref 0 in
+  while !scheduled < n do
+    let best = ref None in
+    Iset.iter
+      (fun task ->
+        let tt = (Graph.task graph task).Task.task_type in
+        Array.iteri
+          (fun pe (inst : Pe.inst) ->
+            let kind = inst.Pe.kind.Pe.kind_id in
+            let wcet = Library.wcet lib ~task_type:tt ~kind in
+            let task_energy = Library.energy lib ~task_type:tt ~kind in
+            let start = Float.max (estimated_ready task pe) pe_avail.(pe) in
+            let finish = start +. wcet in
+            let cost =
+              match policy with
+              | Policy.Baseline -> 0.0
+              | Policy.Power_aware Policy.Min_task_power ->
+                  Dc.cost_task_power lib ~task_type:tt ~kind
+              | Policy.Power_aware Policy.Min_pe_average_power ->
+                  Dc.cost_pe_average_power lib ~pe_energy:pe_energy.(pe) ~task_energy
+                    ~finish
+              | Policy.Power_aware Policy.Min_task_energy ->
+                  Dc.cost_task_energy lib ~task_type:tt ~kind
+              | Policy.Thermal_aware -> assert false
+            in
+            let dc =
+              Dc.value ~sc:sc.(task) ~wcet ~start ~cost
+                ~weight:weights.Policy.cost_weight
+            in
+            let better =
+              match !best with
+              | None -> true
+              | Some (dc', task', pe', _) ->
+                  dc > dc' +. 1e-12
+                  || (Float.abs (dc -. dc') <= 1e-12
+                     && (task < task' || (task = task' && pe < pe')))
+            in
+            if better then best := Some (dc, task, pe, task_energy))
+          pes)
+      !ready;
+    (match !best with
+    | None -> assert false
+    | Some (_, task, pe, task_energy) ->
+        (* Exact commitment with bus contention. *)
+        let arrival = commit_transfers task pe in
+        let start = Float.max arrival pe_avail.(pe) in
+        let tt = (Graph.task graph task).Task.task_type in
+        let wcet = Library.wcet lib ~task_type:tt ~kind:pes.(pe).Pe.kind.Pe.kind_id in
+        let finish = start +. wcet in
+        entries.(task) <- Some { Schedule.task; pe; start; finish; energy = task_energy };
+        pe_avail.(pe) <- finish;
+        pe_energy.(pe) <- pe_energy.(pe) +. task_energy;
+        incr scheduled;
+        ready := Iset.remove task !ready;
+        List.iter
+          (fun (succ, _) ->
+            unscheduled_preds.(succ) <- unscheduled_preds.(succ) - 1;
+            if unscheduled_preds.(succ) = 0 then ready := Iset.add succ !ready)
+          (Graph.succs graph task))
+  done;
+  let entries = Array.map (function Some e -> e | None -> assert false) entries in
+  {
+    schedule = Schedule.make ~graph ~pes ~entries;
+    transfers = List.rev !transfers;
+  }
+
+let validate { schedule = s; transfers } ~lib =
+  let comm = Library.comm lib in
+  let problems = ref [] in
+  let say fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* Bus exclusivity. *)
+  let sorted =
+    List.sort (fun a b -> compare a.bus_start b.bus_start) transfers
+  in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if b.bus_start +. 1e-9 < a.bus_finish then
+          say "bus overlap: %d->%d and %d->%d" a.edge.Graph.src a.edge.Graph.dst
+            b.edge.Graph.src b.edge.Graph.dst;
+        scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan sorted;
+  (* Every cross-PE edge has one transfer, correctly anchored. *)
+  List.iter
+    (fun ({ Graph.src; dst; data } as edge) ->
+      let p = s.Schedule.entries.(src) and c = s.Schedule.entries.(dst) in
+      if p.Schedule.pe <> c.Schedule.pe && data > 0.0 then begin
+        match List.filter (fun t -> t.edge = edge) transfers with
+        | [ t ] ->
+            if t.bus_start +. 1e-9 < p.Schedule.finish then
+              say "transfer %d->%d starts before producer finishes" src dst;
+            let duration = Comm.delay comm ~data ~same_pe:false in
+            if Float.abs (t.bus_finish -. t.bus_start -. duration) > 1e-6 then
+              say "transfer %d->%d has wrong duration" src dst;
+            if c.Schedule.start +. 1e-9 < t.bus_finish then
+              say "consumer %d starts before its data arrives" dst
+        | [] -> say "missing transfer for edge %d->%d" src dst
+        | _ -> say "duplicate transfers for edge %d->%d" src dst
+      end
+      else if c.Schedule.start +. 1e-9 < p.Schedule.finish then
+        say "same-PE precedence broken on edge %d->%d" src dst)
+    (Graph.edges s.Schedule.graph);
+  (* PE exclusivity. *)
+  for pe = 0 to Schedule.n_pes s - 1 do
+    let rec scan = function
+      | (a : Schedule.entry) :: (b :: _ as rest) ->
+          if b.Schedule.start +. 1e-9 < a.Schedule.finish then
+            say "PE%d overlap: %d and %d" pe a.Schedule.task b.Schedule.task;
+          scan rest
+      | [ _ ] | [] -> ()
+    in
+    scan (Schedule.tasks_on_pe s pe)
+  done;
+  List.rev !problems
+
+let bus_utilization { schedule; transfers } =
+  let busy =
+    List.fold_left (fun acc t -> acc +. (t.bus_finish -. t.bus_start)) 0.0 transfers
+  in
+  busy /. Float.max schedule.Schedule.makespan 1e-9

@@ -1,0 +1,29 @@
+module Task = Tats_taskgraph.Task
+module Graph = Tats_taskgraph.Graph
+module Criticality = Tats_taskgraph.Criticality
+module Library = Tats_techlib.Library
+module Comm = Tats_techlib.Comm
+
+let static_criticality lib g =
+  let node_weight (task : Task.t) = Library.wcet_avg lib ~task_type:task.Task.task_type in
+  let comm = Library.comm lib in
+  let edge_weight ({ Graph.data; _ } : Graph.edge) =
+    (* Mapping is unknown at SC time; average the same-PE (free) and
+       cross-PE (bus) cases. *)
+    Comm.delay comm ~data ~same_pe:false /. 2.0
+  in
+  Criticality.compute ~edge_weight ~node_weight g
+
+let cost_task_power lib ~task_type ~kind =
+  Library.wcpc lib ~task_type ~kind /. Library.max_wcpc lib
+
+let cost_pe_average_power lib ~pe_energy ~task_energy ~finish =
+  if finish <= 0.0 then 0.0
+  else (pe_energy +. task_energy) /. finish /. Library.max_wcpc lib
+
+let cost_task_energy lib ~task_type ~kind =
+  Library.energy lib ~task_type ~kind /. Library.max_energy lib
+
+let cost_temperature ~ambient ~avg_temp = (avg_temp -. ambient) /. 100.0
+
+let value ~sc ~wcet ~start ~cost ~weight = sc -. wcet -. start -. (weight *. cost)

@@ -1,0 +1,47 @@
+(** Dynamic thermal management (DTM) simulation — the runtime counterpart of
+    the paper's design-time scheduling, and the subject of its reference
+    [2] (Skadron et al., HPCA 2002).
+
+    The simulator replays a schedule against the transient RC model. Tasks
+    run on their assigned PEs in schedule order, respecting data
+    dependencies; whenever a PE's die temperature crosses the trigger
+    threshold, that PE is throttled (its progress rate drops) until it cools
+    below the trigger minus a hysteresis band. Throttling delays everything
+    behind it, so aggressive design-time schedules can miss deadlines at run
+    time — exactly the interplay thermal-aware scheduling is meant to avoid,
+    measurable here. *)
+
+module Graph = Tats_taskgraph.Graph
+module Library = Tats_techlib.Library
+module Hotspot = Tats_thermal.Hotspot
+
+type params = {
+  trigger : float;         (** throttle above this die temperature, °C *)
+  hysteresis : float;      (** un-throttle below trigger - hysteresis, °C *)
+  throttle_factor : float; (** progress (and power) rate when throttled, in (0,1) *)
+  time_unit : float;       (** seconds of wall clock per schedule time unit *)
+  dt : float;              (** simulation step, schedule time units *)
+  passes : int;
+      (** back-to-back executions of the schedule (a periodic application);
+          the package needs many sub-second passes to warm up to its
+          steady state, so run-time behaviour is reported for the last
+          pass *)
+}
+
+val default_params : params
+(** trigger 85 °C, hysteresis 3 °C, factor 0.5, 1 ms per unit, dt 1,
+    1 pass. *)
+
+type result = {
+  finish : float array;       (** per task, relative to the last pass's start *)
+  makespan : float;           (** of the last pass *)
+  peak_temperature : float;   (** highest die temperature ever reached *)
+  throttled_fraction : float;
+      (** throttled PE-time / busy PE-time, over the last pass *)
+  meets_deadline : bool;      (** last pass within the graph deadline *)
+}
+
+val simulate :
+  ?params:params -> lib:Library.t -> hotspot:Hotspot.t -> Schedule.t -> result
+(** The hotspot must have one block per PE. Raises [Invalid_argument]
+    otherwise or on bad parameters. Deterministic. *)

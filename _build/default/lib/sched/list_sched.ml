@@ -1,0 +1,194 @@
+module Graph = Tats_taskgraph.Graph
+module Task = Tats_taskgraph.Task
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Comm = Tats_techlib.Comm
+module Hotspot = Tats_thermal.Hotspot
+module Package = Tats_thermal.Package
+
+exception Thermal_policy_needs_hotspot
+
+type state = {
+  entries : Schedule.entry option array;
+  pe_tasks : Schedule.entry list array; (* per PE, most recent first *)
+  pe_energy : float array;
+  mutable n_scheduled : int;
+}
+
+(* Earliest start of [task] on [pe]: data from every predecessor must have
+   arrived, and the PE must be free — except for mutually exclusive
+   predecessors-by-condition, which may overlap. *)
+let earliest_start st ~comm ~exclusive graph task pe =
+  let ready =
+    List.fold_left
+      (fun acc (pred, data) ->
+        match st.entries.(pred) with
+        | None -> assert false (* only called on ready tasks *)
+        | Some e ->
+            let delay = Comm.delay_between comm ~src:e.Schedule.pe ~dst:pe ~data in
+            Float.max acc (e.Schedule.finish +. delay))
+      0.0 (Graph.preds graph task)
+  in
+  let avail =
+    List.fold_left
+      (fun acc (e : Schedule.entry) ->
+        if exclusive e.Schedule.task task then acc
+        else Float.max acc e.Schedule.finish)
+      0.0 st.pe_tasks.(pe)
+  in
+  Float.max ready avail
+
+(* The paper's inquiry: the cumulating (average) power of every PE, plus the
+   consuming power (WCPC) the candidate task would incur on the candidate
+   PE. Leakage coupling matters here — in a purely linear network the
+   average temperature is nearly independent of which PE receives the task,
+   and the inquiry could not discriminate. *)
+let thermal_cost ~hotspot ~idle st ~pes ~candidate_pe ~task_power ~finish =
+  let horizon = Float.max finish 1e-9 in
+  let dynamic =
+    Array.init (Array.length pes) (fun p ->
+        (st.pe_energy.(p) /. horizon)
+        +. (if p = candidate_pe then task_power else 0.0))
+  in
+  let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
+  let avg = Tats_util.Stats.mean temps in
+  Dc.cost_temperature ~ambient:(Hotspot.package hotspot).Package.ambient ~avg_temp:avg
+
+let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~policy () =
+  let n = Graph.n_tasks graph in
+  let weights =
+    match weights with
+    | Some w -> w
+    | None -> Policy.default_weights ~deadline:(Graph.deadline graph)
+  in
+  (match (policy, hotspot) with
+  | Policy.Thermal_aware, None -> raise Thermal_policy_needs_hotspot
+  | Policy.Thermal_aware, Some h ->
+      if Hotspot.n_blocks h <> Array.length pes then
+        invalid_arg "List_sched.run: hotspot must have one block per PE"
+  | (Policy.Baseline | Policy.Power_aware _), _ -> ());
+  let comm = Library.comm lib in
+  let sc = Dc.static_criticality lib graph in
+  let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) pes in
+  let st =
+    {
+      entries = Array.make n None;
+      pe_tasks = Array.make (Array.length pes) [];
+      pe_energy = Array.make (Array.length pes) 0.0;
+      n_scheduled = 0;
+    }
+  in
+  let unscheduled_preds = Array.make n 0 in
+  for v = 0 to n - 1 do
+    unscheduled_preds.(v) <- List.length (Graph.preds graph v)
+  done;
+  let module Iset = Set.Make (Int) in
+  let ready =
+    ref (List.fold_left (fun s v -> Iset.add v s) Iset.empty (Graph.sources graph))
+  in
+  while st.n_scheduled < n do
+    assert (not (Iset.is_empty !ready));
+    (* Scan every (ready task, PE) pair for the highest DC. *)
+    let best = ref None in
+    Iset.iter
+      (fun task ->
+        let tt = (Graph.task graph task).Task.task_type in
+        Array.iteri
+          (fun pe (inst : Pe.inst) ->
+            let kind = inst.Pe.kind.Pe.kind_id in
+            let wcet = Library.wcet lib ~task_type:tt ~kind in
+            let task_energy = Library.energy lib ~task_type:tt ~kind in
+            let start = earliest_start st ~comm ~exclusive graph task pe in
+            let finish = start +. wcet in
+            let cost =
+              match policy with
+              | Policy.Baseline -> 0.0
+              | Policy.Power_aware Policy.Min_task_power ->
+                  Dc.cost_task_power lib ~task_type:tt ~kind
+              | Policy.Power_aware Policy.Min_pe_average_power ->
+                  Dc.cost_pe_average_power lib ~pe_energy:st.pe_energy.(pe)
+                    ~task_energy ~finish
+              | Policy.Power_aware Policy.Min_task_energy ->
+                  Dc.cost_task_energy lib ~task_type:tt ~kind
+              | Policy.Thermal_aware ->
+                  let hotspot = Option.get hotspot in
+                  let task_power = Library.wcpc lib ~task_type:tt ~kind in
+                  thermal_cost ~hotspot ~idle st ~pes ~candidate_pe:pe
+                    ~task_power ~finish
+            in
+            let dc =
+              Dc.value ~sc:sc.(task) ~wcet ~start ~cost
+                ~weight:weights.Policy.cost_weight
+            in
+            let better =
+              match !best with
+              | None -> true
+              | Some (dc', task', pe', _, _, _) ->
+                  dc > dc' +. 1e-12
+                  || (Float.abs (dc -. dc') <= 1e-12
+                     && (task < task' || (task = task' && pe < pe')))
+            in
+            if better then best := Some (dc, task, pe, start, finish, task_energy))
+          pes)
+      !ready;
+    (match !best with
+    | None -> assert false
+    | Some (_, task, pe, start, finish, task_energy) ->
+        let entry = { Schedule.task; pe; start; finish; energy = task_energy } in
+        st.entries.(task) <- Some entry;
+        st.pe_tasks.(pe) <- entry :: st.pe_tasks.(pe);
+        st.pe_energy.(pe) <- st.pe_energy.(pe) +. task_energy;
+        st.n_scheduled <- st.n_scheduled + 1;
+        ready := Iset.remove task !ready;
+        List.iter
+          (fun (succ, _) ->
+            unscheduled_preds.(succ) <- unscheduled_preds.(succ) - 1;
+            if unscheduled_preds.(succ) = 0 then ready := Iset.add succ !ready)
+          (Graph.succs graph task))
+  done;
+  let entries =
+    Array.mapi
+      (fun i e -> match e with Some e -> e | None -> assert (i >= 0); assert false)
+      st.entries
+  in
+  Schedule.make ~graph ~pes ~entries
+
+let run_adaptive ?base_weights ?(max_multiplier = 400.0) ?(search_steps = 16)
+    ?hotspot ?exclusive ~graph ~lib ~pes ~policy () =
+  if max_multiplier <= 0.0 then
+    invalid_arg "List_sched.run_adaptive: non-positive multiplier";
+  let base =
+    match base_weights with
+    | Some w -> w
+    | None -> Policy.default_weights ~deadline:(Graph.deadline graph)
+  in
+  let attempt mult =
+    let weights = { Policy.cost_weight = base.Policy.cost_weight *. mult } in
+    (run ~weights ?hotspot ?exclusive ~graph ~lib ~pes ~policy (), weights)
+  in
+  let meets (s, _) = Schedule.meets_deadline s in
+  let ceiling = attempt max_multiplier in
+  if meets ceiling then ceiling
+  else begin
+    (* At multiplier 0 the cost term vanishes and the schedule is the pure
+       performance-driven one; if even that misses the deadline, the
+       architecture is simply too small and the caller must react. *)
+    let floor = attempt 0.0 in
+    if not (meets floor) then floor
+    else begin
+      (* Bisect for the feasibility boundary; keep the strongest feasible
+         weight seen. *)
+      let best = ref floor in
+      let lo = ref 0.0 and hi = ref max_multiplier in
+      for _ = 1 to search_steps do
+        let mid = (!lo +. !hi) /. 2.0 in
+        let candidate = attempt mid in
+        if meets candidate then begin
+          best := candidate;
+          lo := mid
+        end
+        else hi := mid
+      done;
+      !best
+    end
+  end

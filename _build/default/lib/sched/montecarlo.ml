@@ -1,0 +1,123 @@
+module Graph = Tats_taskgraph.Graph
+module Task = Tats_taskgraph.Task
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Comm = Tats_techlib.Comm
+module Hotspot = Tats_thermal.Hotspot
+module Rng = Tats_util.Rng
+module Stats = Tats_util.Stats
+
+type sampler = { min_fraction : float; max_fraction : float }
+
+let default_sampler = { min_fraction = 0.6; max_fraction = 1.0 }
+
+type stats = {
+  runs : int;
+  makespan_mean : float;
+  makespan_p95 : float;
+  makespan_max : float;
+  deadline_miss_rate : float;
+  peak_temp_mean : float;
+  peak_temp_max : float;
+}
+
+(* Re-time the schedule under scaled durations, keeping mapping and per-PE
+   order: each task starts when its predecessors' data has arrived and the
+   previous task on its PE (in the original order) has finished. *)
+let retime (s : Schedule.t) ~lib ~durations =
+  let graph = s.Schedule.graph in
+  let comm = Library.comm lib in
+  let n = Graph.n_tasks graph in
+  let finish = Array.make n nan in
+  let prev_on_pe = Array.make n None in
+  for pe = 0 to Schedule.n_pes s - 1 do
+    let rec link = function
+      | (a : Schedule.entry) :: (b :: _ as rest) ->
+          prev_on_pe.(b.Schedule.task) <- Some a.Schedule.task;
+          link rest
+      | [ _ ] | [] -> ()
+    in
+    link (Schedule.tasks_on_pe s pe)
+  done;
+  (* The original start order is consistent with both constraint kinds, so
+     one pass in that order suffices. *)
+  let order =
+    let ids = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        compare s.Schedule.entries.(a).Schedule.start
+          s.Schedule.entries.(b).Schedule.start)
+      ids;
+    ids
+  in
+  Array.iter
+    (fun task ->
+      let pe = s.Schedule.entries.(task).Schedule.pe in
+      let data_ready =
+        List.fold_left
+          (fun acc (pred, data) ->
+            let delay =
+              Comm.delay_between comm ~src:s.Schedule.entries.(pred).Schedule.pe
+                ~dst:pe ~data
+            in
+            Float.max acc (finish.(pred) +. delay))
+          0.0 (Graph.preds graph task)
+      in
+      let pe_free =
+        match prev_on_pe.(task) with None -> 0.0 | Some p -> finish.(p)
+      in
+      finish.(task) <- Float.max data_ready pe_free +. durations.(task))
+    order;
+  finish
+
+let analyze ?(sampler = default_sampler) ?(runs = 200) ~seed ~lib ~hotspot
+    (s : Schedule.t) =
+  if sampler.min_fraction <= 0.0 || sampler.max_fraction < sampler.min_fraction then
+    invalid_arg "Montecarlo.analyze: bad sampler bounds";
+  if runs < 1 then invalid_arg "Montecarlo.analyze: need at least one run";
+  if Hotspot.n_blocks hotspot <> Schedule.n_pes s then
+    invalid_arg "Montecarlo.analyze: hotspot must have one block per PE";
+  let graph = s.Schedule.graph in
+  let n = Graph.n_tasks graph in
+  let rng = Rng.create seed in
+  let deadline = Graph.deadline graph in
+  let idle =
+    Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) s.Schedule.pes
+  in
+  let makespans = Array.make runs 0.0 in
+  let peaks = Array.make runs 0.0 in
+  let misses = ref 0 in
+  for run = 0 to runs - 1 do
+    let fractions =
+      Array.init n (fun _ -> Rng.uniform rng sampler.min_fraction sampler.max_fraction)
+    in
+    let durations =
+      Array.mapi
+        (fun task (e : Schedule.entry) ->
+          (e.Schedule.finish -. e.Schedule.start) *. fractions.(task))
+        s.Schedule.entries
+    in
+    let finish = retime s ~lib ~durations in
+    let makespan = Array.fold_left Float.max 0.0 finish in
+    makespans.(run) <- makespan;
+    if makespan > deadline +. 1e-9 then incr misses;
+    (* Energy scales with actual duration (constant power while running). *)
+    let dynamic = Array.make (Schedule.n_pes s) 0.0 in
+    Array.iteri
+      (fun task (e : Schedule.entry) ->
+        dynamic.(e.Schedule.pe) <-
+          dynamic.(e.Schedule.pe)
+          +. (e.Schedule.energy *. fractions.(task) /. Float.max makespan 1e-9))
+      s.Schedule.entries;
+    let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
+    peaks.(run) <- Stats.max temps
+  done;
+  {
+    runs;
+    makespan_mean = Stats.mean makespans;
+    makespan_p95 = Stats.percentile makespans 95.0;
+    makespan_max = Stats.max makespans;
+    deadline_miss_rate = float_of_int !misses /. float_of_int runs;
+    peak_temp_mean = Stats.mean peaks;
+    peak_temp_max = Stats.max peaks;
+  }

@@ -1,0 +1,358 @@
+module Graph = Tats_taskgraph.Graph
+module Task = Tats_taskgraph.Task
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Comm = Tats_techlib.Comm
+module Hotspot = Tats_thermal.Hotspot
+module Stats = Tats_util.Stats
+
+type app = { graph : Graph.t; period : float }
+
+let make_app ~graph ~period =
+  if period <= 0.0 || Float.rem period 1.0 <> 0.0 then
+    invalid_arg "Periodic.make_app: period must be a positive integer";
+  if period < Graph.deadline graph then
+    invalid_arg "Periodic.make_app: period shorter than the graph deadline";
+  { graph; period }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let hyperperiod apps =
+  match apps with
+  | [] -> invalid_arg "Periodic.hyperperiod: no applications"
+  | first :: rest ->
+      let lcm a b = a / gcd a b * b in
+      let p app = int_of_float app.period in
+      float_of_int (List.fold_left (fun acc app -> lcm acc (p app)) (p first) rest)
+
+type job = { app : int; instance : int; task : Task.id }
+
+type entry = { job : job; pe : int; start : float; finish : float; energy : float }
+
+type t = {
+  apps : app array;
+  pes : Pe.inst array;
+  hyper : float;
+  entries : entry array;
+}
+
+(* Dense job numbering: offsets.(a) + instance * n_tasks(a) + task. *)
+type expansion = {
+  offsets : int array;
+  instances : int array; (* per app *)
+  jobs : job array;
+}
+
+let expand apps hyper =
+  let n_apps = Array.length apps in
+  let offsets = Array.make n_apps 0 in
+  let instances = Array.make n_apps 0 in
+  let total = ref 0 in
+  for a = 0 to n_apps - 1 do
+    offsets.(a) <- !total;
+    instances.(a) <- int_of_float (hyper /. apps.(a).period);
+    total := !total + (instances.(a) * Graph.n_tasks apps.(a).graph)
+  done;
+  let jobs = Array.make !total { app = 0; instance = 0; task = 0 } in
+  for a = 0 to n_apps - 1 do
+    let n = Graph.n_tasks apps.(a).graph in
+    for k = 0 to instances.(a) - 1 do
+      for task = 0 to n - 1 do
+        jobs.(offsets.(a) + (k * n) + task) <- { app = a; instance = k; task }
+      done
+    done
+  done;
+  { offsets; instances; jobs }
+
+let job_index exp apps j =
+  exp.offsets.(j.app) + (j.instance * Graph.n_tasks apps.(j.app).graph) + j.task
+
+let release apps j = float_of_int j.instance *. apps.(j.app).period
+
+let job_deadline apps j = release apps j +. Graph.deadline apps.(j.app).graph
+
+let schedule ?(policy = Policy.Baseline) ?weights ?hotspot ~apps ~lib ~pes () =
+  (match apps with [] -> invalid_arg "Periodic.schedule: no applications" | _ -> ());
+  let apps = Array.of_list apps in
+  let hyper = hyperperiod (Array.to_list apps) in
+  let exp = expand apps hyper in
+  let n_jobs = Array.length exp.jobs in
+  (match (policy, hotspot) with
+  | Policy.Thermal_aware, None -> raise List_sched.Thermal_policy_needs_hotspot
+  | Policy.Thermal_aware, Some h ->
+      if Hotspot.n_blocks h <> Array.length pes then
+        invalid_arg "Periodic.schedule: hotspot must have one block per PE"
+  | (Policy.Baseline | Policy.Power_aware _), _ -> ());
+  let weights =
+    match weights with
+    | Some w -> w
+    | None -> Policy.default_weights ~deadline:hyper
+  in
+  let comm = Library.comm lib in
+  (* Static criticality per app (shared by all its instances). *)
+  let sc = Array.map (fun app -> Dc.static_criticality lib app.graph) apps in
+  let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) pes in
+  let committed = Array.make n_jobs None in
+  let pe_tasks : entry list array = Array.make (Array.length pes) [] in
+  let pe_energy = Array.make (Array.length pes) 0.0 in
+  let unscheduled_preds =
+    Array.map
+      (fun j -> List.length (Graph.preds apps.(j.app).graph j.task))
+      exp.jobs
+  in
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  Array.iteri
+    (fun idx d -> if d = 0 then ready := Iset.add idx !ready)
+    unscheduled_preds;
+  let earliest_start j pe =
+    let data_ready =
+      List.fold_left
+        (fun acc (pred, data) ->
+          let pidx = job_index exp apps { j with task = pred } in
+          match committed.(pidx) with
+          | None -> assert false
+          | Some e ->
+              let delay = Comm.delay_between comm ~src:e.pe ~dst:pe ~data in
+              Float.max acc (e.finish +. delay))
+        (release apps j)
+        (Graph.preds apps.(j.app).graph j.task)
+    in
+    let avail =
+      List.fold_left (fun acc (e : entry) -> Float.max acc e.finish) 0.0 pe_tasks.(pe)
+    in
+    Float.max data_ready avail
+  in
+  let order = ref [] in
+  let n_scheduled = ref 0 in
+  while !n_scheduled < n_jobs do
+    (* One horizon per selection round (the current frontier), so the
+       thermal inquiry compares candidates on equal footing. *)
+    let now =
+      Array.fold_left
+        (fun acc tasks ->
+          List.fold_left (fun acc (e : entry) -> Float.max acc e.finish) acc tasks)
+        1.0 pe_tasks
+    in
+    let best = ref None in
+    Iset.iter
+      (fun idx ->
+        let j = exp.jobs.(idx) in
+        let tt = (Graph.task apps.(j.app).graph j.task).Task.task_type in
+        Array.iteri
+          (fun pe (inst : Pe.inst) ->
+            let kind = inst.Pe.kind.Pe.kind_id in
+            let wcet = Library.wcet lib ~task_type:tt ~kind in
+            let task_energy = Library.energy lib ~task_type:tt ~kind in
+            let start = earliest_start j pe in
+            let finish = start +. wcet in
+            let cost =
+              match policy with
+              | Policy.Baseline -> 0.0
+              | Policy.Power_aware Policy.Min_task_power ->
+                  Dc.cost_task_power lib ~task_type:tt ~kind
+              | Policy.Power_aware Policy.Min_pe_average_power ->
+                  Dc.cost_pe_average_power lib ~pe_energy:pe_energy.(pe) ~task_energy
+                    ~finish
+              | Policy.Power_aware Policy.Min_task_energy ->
+                  Dc.cost_task_energy lib ~task_type:tt ~kind
+              | Policy.Thermal_aware ->
+                  let hotspot = Option.get hotspot in
+                  let dynamic =
+                    Array.init (Array.length pes) (fun p ->
+                        (pe_energy.(p) /. now)
+                        +.
+                        if p = pe then Library.wcpc lib ~task_type:tt ~kind else 0.0)
+                  in
+                  let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
+                  Dc.cost_temperature
+                    ~ambient:(Hotspot.package hotspot).Tats_thermal.Package.ambient
+                    ~avg_temp:(Stats.mean temps)
+            in
+            (* Job urgency: criticality relative to the instance release. *)
+            let dc =
+              Dc.value
+                ~sc:(sc.(j.app).(j.task) -. release apps j)
+                ~wcet ~start ~cost ~weight:weights.Policy.cost_weight
+            in
+            let better =
+              match !best with
+              | None -> true
+              | Some (dc', idx', pe', _, _, _) ->
+                  dc > dc' +. 1e-12
+                  || (Float.abs (dc -. dc') <= 1e-12
+                     && (idx < idx' || (idx = idx' && pe < pe')))
+            in
+            if better then best := Some (dc, idx, pe, start, finish, task_energy))
+          pes)
+      !ready;
+    (match !best with
+    | None -> assert false
+    | Some (_, idx, pe, start, finish, energy) ->
+        let j = exp.jobs.(idx) in
+        let entry = { job = j; pe; start; finish; energy } in
+        committed.(idx) <- Some entry;
+        pe_tasks.(pe) <- entry :: pe_tasks.(pe);
+        pe_energy.(pe) <- pe_energy.(pe) +. energy;
+        order := entry :: !order;
+        incr n_scheduled;
+        ready := Iset.remove idx !ready;
+        List.iter
+          (fun (succ, _) ->
+            let sidx = job_index exp apps { j with task = succ } in
+            unscheduled_preds.(sidx) <- unscheduled_preds.(sidx) - 1;
+            if unscheduled_preds.(sidx) = 0 then ready := Iset.add sidx !ready)
+          (Graph.succs apps.(j.app).graph j.task))
+  done;
+  { apps; pes; hyper; entries = Array.of_list (List.rev !order) }
+
+type violation =
+  | Release of job
+  | Job_deadline of job
+  | Precedence of job * job
+  | Pe_overlap of int * job * job
+
+let validate t ~lib =
+  let comm = Library.comm lib in
+  let violations = ref [] in
+  let by_job = Hashtbl.create (Array.length t.entries) in
+  Array.iter (fun e -> Hashtbl.replace by_job e.job e) t.entries;
+  Array.iter
+    (fun e ->
+      let j = e.job in
+      if e.start +. 1e-9 < release t.apps j then violations := Release j :: !violations;
+      if e.finish > job_deadline t.apps j +. 1e-6 then
+        violations := Job_deadline j :: !violations;
+      (* Duration against the library. *)
+      List.iter
+        (fun (pred, data) ->
+          let pj = { j with task = pred } in
+          match Hashtbl.find_opt by_job pj with
+          | None -> violations := Precedence (pj, j) :: !violations
+          | Some pe_entry ->
+              let delay = Comm.delay_between comm ~src:pe_entry.pe ~dst:e.pe ~data in
+              if e.start +. 1e-6 < pe_entry.finish +. delay then
+                violations := Precedence (pj, j) :: !violations)
+        (Graph.preds t.apps.(j.app).graph j.task))
+    t.entries;
+  for pe = 0 to Array.length t.pes - 1 do
+    let on_pe =
+      Array.to_list t.entries
+      |> List.filter (fun e -> e.pe = pe)
+      |> List.sort (fun a b -> compare a.start b.start)
+    in
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+          if b.start +. 1e-9 < a.finish then
+            violations := Pe_overlap (pe, a.job, b.job) :: !violations;
+          scan rest
+      | [ _ ] | [] -> ()
+    in
+    scan on_pe
+  done;
+  List.rev !violations
+
+let meets_all_deadlines t =
+  Array.for_all (fun e -> e.finish <= job_deadline t.apps e.job +. 1e-6) t.entries
+
+let total_energy t = Array.fold_left (fun acc e -> acc +. e.energy) 0.0 t.entries
+
+let average_power t = total_energy t /. Float.max t.hyper 1e-9
+
+let pe_average_powers t =
+  let dyn = Array.make (Array.length t.pes) 0.0 in
+  Array.iter (fun e -> dyn.(e.pe) <- dyn.(e.pe) +. e.energy) t.entries;
+  Array.mapi
+    (fun pe e -> (e /. Float.max t.hyper 1e-9) +. t.pes.(pe).Pe.kind.Pe.idle_power)
+    dyn
+
+let thermal_report ?(leakage = true) t ~hotspot =
+  if Hotspot.n_blocks hotspot <> Array.length t.pes then
+    invalid_arg "Periodic.thermal_report: hotspot must have one block per PE";
+  let dyn = Array.make (Array.length t.pes) 0.0 in
+  Array.iter (fun e -> dyn.(e.pe) <- dyn.(e.pe) +. e.energy) t.entries;
+  let dynamic = Array.map (fun e -> e /. Float.max t.hyper 1e-9) dyn in
+  let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) t.pes in
+  let block_temps =
+    if leakage then Hotspot.query_with_leakage hotspot ~dynamic ~idle
+    else Hotspot.query hotspot ~power:(Array.mapi (fun i d -> d +. idle.(i)) dynamic)
+  in
+  {
+    Metrics.pe_powers = Array.mapi (fun i d -> d +. idle.(i)) dynamic;
+    block_temps;
+    max_temp = Stats.max block_temps;
+    avg_temp = Stats.mean block_temps;
+  }
+
+let utilization t =
+  let busy = Array.fold_left (fun acc e -> acc +. (e.finish -. e.start)) 0.0 t.entries in
+  busy /. (float_of_int (Array.length t.pes) *. Float.max t.hyper 1e-9)
+
+let schedule_adaptive ?base_weights ?(max_multiplier = 400.0) ?(search_steps = 16)
+    ?hotspot ~apps ~lib ~pes ~policy () =
+  if max_multiplier <= 0.0 then
+    invalid_arg "Periodic.schedule_adaptive: non-positive multiplier";
+  let base =
+    match base_weights with
+    | Some w -> w
+    | None ->
+        let min_deadline =
+          List.fold_left
+            (fun acc app -> Float.min acc (Graph.deadline app.graph))
+            infinity apps
+        in
+        Policy.default_weights ~deadline:min_deadline
+  in
+  let attempt mult =
+    let weights = { Policy.cost_weight = base.Policy.cost_weight *. mult } in
+    (schedule ~policy ~weights ?hotspot ~apps ~lib ~pes (), weights)
+  in
+  let meets (t, _) = meets_all_deadlines t in
+  (* Find the feasibility boundary. *)
+  let boundary =
+    let ceiling = attempt max_multiplier in
+    if meets ceiling then max_multiplier
+    else begin
+      let lo = ref 0.0 and hi = ref max_multiplier in
+      for _ = 1 to search_steps do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if meets (attempt mid) then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  in
+  (* The hyperperiod-average power is fixed, so unlike the one-shot ASP a
+     larger weight is not automatically cooler: scan the feasible range and
+     keep the coolest candidate (or the strongest feasible weight when no
+     thermal objective is available). *)
+  let candidates =
+    List.sort_uniq compare
+      [ 0.0; boundary /. 8.0; boundary /. 4.0; boundary /. 2.0;
+        3.0 *. boundary /. 4.0; boundary ]
+  in
+  let evaluate mult =
+    let ((t, _) as r) = attempt mult in
+    let key =
+      if not (meets_all_deadlines t) then infinity
+      else
+        match (policy, hotspot) with
+        | Policy.Thermal_aware, Some h ->
+            (thermal_report t ~hotspot:h).Metrics.max_temp
+        | (Policy.Baseline | Policy.Power_aware _ | Policy.Thermal_aware), _ ->
+            -.mult
+    in
+    (key, r)
+  in
+  let scored = List.map evaluate candidates in
+  let best =
+    List.fold_left
+      (fun acc (key, r) ->
+        match acc with
+        | None -> Some (key, r)
+        | Some (k', _) when key < k' -. 1e-12 -> Some (key, r)
+        | Some _ -> acc)
+      None scored
+  in
+  match best with
+  | Some (key, r) when key < infinity -> r
+  | _ -> attempt 0.0

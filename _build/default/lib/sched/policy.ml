@@ -1,0 +1,35 @@
+type heuristic = Min_task_power | Min_pe_average_power | Min_task_energy
+
+type t = Baseline | Power_aware of heuristic | Thermal_aware
+
+let all =
+  [
+    Baseline;
+    Power_aware Min_task_power;
+    Power_aware Min_pe_average_power;
+    Power_aware Min_task_energy;
+    Thermal_aware;
+  ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Power_aware Min_task_power -> "h1"
+  | Power_aware Min_pe_average_power -> "h2"
+  | Power_aware Min_task_energy -> "h3"
+  | Thermal_aware -> "thermal"
+
+let of_name = function
+  | "baseline" -> Some Baseline
+  | "h1" -> Some (Power_aware Min_task_power)
+  | "h2" -> Some (Power_aware Min_pe_average_power)
+  | "h3" -> Some (Power_aware Min_task_energy)
+  | "thermal" -> Some Thermal_aware
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+type weights = { cost_weight : float }
+
+let default_weights ~deadline =
+  if deadline <= 0.0 then invalid_arg "Policy.default_weights: bad deadline";
+  { cost_weight = 0.4 *. deadline }

@@ -1,0 +1,39 @@
+(** Allocation-and-scheduling policies.
+
+    The paper's dynamic criticality is
+    [DC(task, PE) = SC(task) - WCET(task, PE)
+                    - max(PE available, task ready) - cost],
+    where the trailing cost term distinguishes the policies. *)
+
+type heuristic =
+  | Min_task_power
+      (** Heuristic 1: minimize power consumption of the current task. *)
+  | Min_pe_average_power
+      (** Heuristic 2: minimize the PE's cumulative average power. *)
+  | Min_task_energy
+      (** Heuristic 3: minimize energy of the current task (the paper's
+          winner among the power heuristics). *)
+
+type t =
+  | Baseline      (** performance only: no cost term *)
+  | Power_aware of heuristic
+  | Thermal_aware (** cost = average HotSpot temperature of the inquiry *)
+
+val all : t list
+(** Baseline, the three power heuristics, thermal-aware — Table 1 order. *)
+
+val name : t -> string
+val of_name : string -> t option
+(** Inverse of {!name} ("baseline", "h1", "h2", "h3", "thermal"). *)
+
+val pp : Format.formatter -> t -> unit
+
+type weights = { cost_weight : float }
+(** Scale translating the normalized cost term into schedule time units so
+    it competes with the WCET/start-time terms of DC. *)
+
+val default_weights : deadline:float -> weights
+(** [cost_weight = 0.4 * deadline] — strong enough to steer PE choice, weak
+    enough not to override criticality ordering; the adaptive scheduler
+    (see {!List_sched.run_adaptive}) rescales it against the deadline
+    anyway. Sensitivity is explored in the ablation bench. *)

@@ -1,0 +1,60 @@
+(** Simulated-annealing task mapper — a search-based comparator for the
+    constructive ASP.
+
+    The state is a full mapping (task -> PE) plus a scheduling priority
+    permutation; a state decodes to a schedule by list-scheduling the tasks
+    in priority order onto their assigned PEs. Annealing moves either remap
+    one task or swap two priorities. Because it searches globally instead of
+    deciding greedily, it bounds how much the one-pass ASP leaves on the
+    table (at ~1000x the cost — see the bench). *)
+
+module Graph = Tats_taskgraph.Graph
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Hotspot = Tats_thermal.Hotspot
+
+type objective =
+  | Makespan
+  | Peak_temperature of Hotspot.t
+      (** steady-state peak under per-PE average power (with leakage),
+          plus a large penalty per unit of deadline violation *)
+
+type params = {
+  initial_temperature : float;
+  cooling : float;
+  moves_per_temperature : int;
+  min_temperature : float;
+}
+
+val default_params : params
+
+type result = {
+  schedule : Schedule.t;
+  cost : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+val decode :
+  graph:Graph.t ->
+  lib:Library.t ->
+  pes:Pe.inst array ->
+  assignment:int array ->
+  priority:int array ->
+  Schedule.t
+(** [decode ~assignment ~priority] builds the schedule for a fixed mapping:
+    tasks become eligible in dependency order and ties are broken by
+    [priority] (lower value = scheduled first). Exposed for tests. *)
+
+val run :
+  ?params:params ->
+  seed:int ->
+  objective:objective ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  pes:Pe.inst array ->
+  unit ->
+  result
+(** Deterministic for a fixed seed. The initial state is the ASP baseline
+    schedule's own mapping, so the result is never worse than a decoded
+    baseline. *)

@@ -1,0 +1,1 @@
+lib/taskgraph/analysis.ml: Array Format Graph List Stdlib

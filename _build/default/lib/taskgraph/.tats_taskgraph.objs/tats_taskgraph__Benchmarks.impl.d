@@ -1,0 +1,1 @@
+lib/taskgraph/benchmarks.ml: Array Generator String

@@ -1,0 +1,1 @@
+lib/taskgraph/benchmarks.mli: Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/cluster.ml: Array Fun Graph Hashtbl List Option Printf Queue String Task

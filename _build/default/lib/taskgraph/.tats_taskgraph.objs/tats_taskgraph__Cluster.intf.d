@@ -1,0 +1,1 @@
+lib/taskgraph/cluster.mli: Graph Task

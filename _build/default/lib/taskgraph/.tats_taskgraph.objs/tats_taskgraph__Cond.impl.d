@@ -1,0 +1,1 @@
+lib/taskgraph/cond.ml: Array Float Graph Hashtbl Int List Printf Set Task Tats_util

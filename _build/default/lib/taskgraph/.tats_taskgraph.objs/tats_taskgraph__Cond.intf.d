@@ -1,0 +1,1 @@
+lib/taskgraph/cond.mli: Graph Task Tats_util

@@ -1,0 +1,1 @@
+lib/taskgraph/criticality.ml: Array Float Fun Graph List

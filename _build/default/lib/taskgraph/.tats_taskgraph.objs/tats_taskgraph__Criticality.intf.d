@@ -1,0 +1,1 @@
+lib/taskgraph/criticality.mli: Graph Task

@@ -1,0 +1,1 @@
+lib/taskgraph/dot.ml: Array Buffer Fun Graph List Printf Task

@@ -1,0 +1,1 @@
+lib/taskgraph/generator.ml: Array Fun Graph Hashtbl Printf Stdlib Task Tats_util

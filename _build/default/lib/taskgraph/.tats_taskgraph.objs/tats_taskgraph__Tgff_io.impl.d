@@ -1,0 +1,1 @@
+lib/taskgraph/tgff_io.ml: Array Buffer Fun Graph Hashtbl In_channel List Printf String Task

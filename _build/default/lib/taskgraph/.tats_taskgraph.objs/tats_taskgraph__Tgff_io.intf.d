@@ -1,0 +1,1 @@
+lib/taskgraph/tgff_io.mli: Graph

@@ -1,0 +1,61 @@
+type t = {
+  n_tasks : int;
+  n_edges : int;
+  depth : int;
+  width : int;
+  level_sizes : int array;
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  n_sources : int;
+  n_sinks : int;
+  edge_density : float;
+  avg_parallelism : float;
+}
+
+let levels g =
+  let n = Graph.n_tasks g in
+  let level = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun (w, _) -> level.(w) <- Stdlib.max level.(w) (level.(v) + 1))
+        (Graph.succs g v))
+    (Graph.topological_order g);
+  level
+
+let analyze g =
+  let n = Graph.n_tasks g in
+  if n = 0 then invalid_arg "Analysis.analyze: empty graph";
+  let level = levels g in
+  let depth = Array.fold_left Stdlib.max 0 level + 1 in
+  let level_sizes = Array.make depth 0 in
+  Array.iter (fun l -> level_sizes.(l) <- level_sizes.(l) + 1) level;
+  let out_degrees = Array.init n (fun v -> List.length (Graph.succs g v)) in
+  let in_degrees = Array.init n (fun v -> List.length (Graph.preds g v)) in
+  let max_pairs = n * (n - 1) / 2 in
+  {
+    n_tasks = n;
+    n_edges = Graph.n_edges g;
+    depth;
+    width = Array.fold_left Stdlib.max 0 level_sizes;
+    level_sizes;
+    avg_out_degree = float_of_int (Graph.n_edges g) /. float_of_int n;
+    max_out_degree = Array.fold_left Stdlib.max 0 out_degrees;
+    max_in_degree = Array.fold_left Stdlib.max 0 in_degrees;
+    n_sources = List.length (Graph.sources g);
+    n_sinks = List.length (Graph.sinks g);
+    edge_density =
+      (if max_pairs = 0 then 0.0
+       else float_of_int (Graph.n_edges g) /. float_of_int max_pairs);
+    avg_parallelism = float_of_int n /. float_of_int depth;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d tasks, %d edges (density %.3f)@,\
+     depth %d, width %d, avg parallelism %.2f@,\
+     degrees: avg out %.2f, max out %d, max in %d@,\
+     %d sources, %d sinks@]"
+    t.n_tasks t.n_edges t.edge_density t.depth t.width t.avg_parallelism
+    t.avg_out_degree t.max_out_degree t.max_in_degree t.n_sources t.n_sinks

@@ -1,0 +1,24 @@
+(** Structural statistics of task graphs — workload characterization for
+    experiment write-ups and generator validation. *)
+
+type t = {
+  n_tasks : int;
+  n_edges : int;
+  depth : int;            (** vertices on the longest chain *)
+  width : int;            (** size of the largest antichain level *)
+  level_sizes : int array; (** tasks per topological level *)
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  n_sources : int;
+  n_sinks : int;
+  edge_density : float;   (** edges / max possible DAG edges, in [0, 1] *)
+  avg_parallelism : float; (** n_tasks / depth — mean exploitable width *)
+}
+
+val analyze : Graph.t -> t
+
+val levels : Graph.t -> int array
+(** Topological level (longest distance from a source, 0-based) per task. *)
+
+val pp : Format.formatter -> t -> unit

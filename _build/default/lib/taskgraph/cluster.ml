@@ -1,0 +1,159 @@
+type t = {
+  clustered : Graph.t;
+  cluster_of : int array;
+  members : Task.id list array;
+  internalized_data : float;
+}
+
+(* Union-find over task ids, with chain-end bookkeeping for linearity. *)
+type uf = { parent : int array; head : int array; tail : int array }
+
+let rec find uf x = if uf.parent.(x) = x then x else find uf uf.parent.(x)
+
+let linear ?(threshold = 0.0) g =
+  let n = Graph.n_tasks g in
+  let uf =
+    { parent = Array.init n Fun.id; head = Array.init n Fun.id; tail = Array.init n Fun.id }
+  in
+  let internalized = ref 0.0 in
+  (* Edges by decreasing payload; deterministic tie-break on endpoints. *)
+  let edges =
+    List.sort
+      (fun (a : Graph.edge) b ->
+        if a.Graph.data <> b.Graph.data then compare b.Graph.data a.Graph.data
+        else compare (a.Graph.src, a.Graph.dst) (b.Graph.src, b.Graph.dst))
+      (Graph.edges g)
+  in
+  (* A merge of clusters A (containing src as its tail) and B (containing
+     dst as its head) keeps every cluster a path. Cycle safety is checked
+     exactly: contract the current clusters with A and B unified and run
+     Kahn's algorithm over the cluster-level graph — the graphs here are
+     small, so the O(V+E) check per candidate merge is cheap. *)
+  let acyclic_if_merged a b =
+    let rep v =
+      let r = find uf v in
+      if r = b then a else r
+    in
+    let indeg = Hashtbl.create 16 and succs = Hashtbl.create 16 in
+    let nodes = Hashtbl.create 16 in
+    for v = 0 to n - 1 do
+      Hashtbl.replace nodes (rep v) ()
+    done;
+    List.iter
+      (fun { Graph.src; dst; _ } ->
+        let cs = rep src and cd = rep dst in
+        if cs <> cd then begin
+          Hashtbl.replace succs cs (cd :: Option.value ~default:[] (Hashtbl.find_opt succs cs));
+          Hashtbl.replace indeg cd (1 + Option.value ~default:0 (Hashtbl.find_opt indeg cd))
+        end)
+      (Graph.edges g);
+    let queue = Queue.create () in
+    Hashtbl.iter
+      (fun node () ->
+        if Option.value ~default:0 (Hashtbl.find_opt indeg node) = 0 then
+          Queue.add node queue)
+      nodes;
+    let visited = ref 0 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      incr visited;
+      List.iter
+        (fun w ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt indeg w) - 1 in
+          Hashtbl.replace indeg w d;
+          if d = 0 then Queue.add w queue)
+        (Option.value ~default:[] (Hashtbl.find_opt succs v))
+    done;
+    !visited = Hashtbl.length nodes
+  in
+  List.iter
+    (fun { Graph.src; dst; data } ->
+      if data > threshold then begin
+        let a = find uf src and b = find uf dst in
+        if
+          a <> b
+          && uf.tail.(a) = src (* src ends its chain *)
+          && uf.head.(b) = dst (* dst begins its chain *)
+          && acyclic_if_merged a b
+        then begin
+          (* Merge chain b after chain a. *)
+          uf.parent.(b) <- a;
+          uf.tail.(a) <- uf.tail.(b);
+          internalized := !internalized +. data
+        end
+      end)
+    edges;
+  (* Dense cluster ids in order of each cluster's first (head) task. *)
+  let roots =
+    List.init n Fun.id
+    |> List.filter (fun v -> find uf v = v)
+    |> List.sort (fun a b -> compare uf.head.(a) uf.head.(b))
+  in
+  let cluster_id = Hashtbl.create 16 in
+  List.iteri (fun i r -> Hashtbl.add cluster_id r i) roots;
+  let cluster_of = Array.init n (fun v -> Hashtbl.find cluster_id (find uf v)) in
+  let n_clusters = List.length roots in
+  let members = Array.make n_clusters [] in
+  for v = n - 1 downto 0 do
+    members.(cluster_of.(v)) <- v :: members.(cluster_of.(v))
+  done;
+  (* Build the clustered DAG: cluster c carries the fresh task type c (its
+     WCET/WCPC come from Library.aggregate); edges sum cross-cluster
+     payloads. *)
+  let b = Graph.builder ~name:(Graph.name g ^ "-clustered") ~deadline:(Graph.deadline g) in
+  Array.iteri
+    (fun c _ ->
+      ignore
+        (Graph.add_task b ~name:(Printf.sprintf "c%d" c) ~task_type:c ()
+          : Task.id))
+    members;
+  let cross = Hashtbl.create 32 in
+  List.iter
+    (fun { Graph.src; dst; data } ->
+      let cs = cluster_of.(src) and cd = cluster_of.(dst) in
+      if cs <> cd then
+        Hashtbl.replace cross (cs, cd)
+          (data +. Option.value ~default:0.0 (Hashtbl.find_opt cross (cs, cd))))
+    (Graph.edges g);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) cross []
+  |> List.sort compare
+  |> List.iter (fun ((cs, cd), data) -> Graph.add_edge b ~data cs cd);
+  {
+    clustered = Graph.build b;
+    cluster_of;
+    members;
+    internalized_data = !internalized;
+  }
+
+let member_types t g =
+  Array.map
+    (fun ms -> List.map (fun v -> (Graph.task g v).Task.task_type) ms)
+    t.members
+
+let lift_assignment t ~cluster_assignment =
+  if Array.length cluster_assignment <> Graph.n_tasks t.clustered then
+    invalid_arg "Cluster.lift_assignment: wrong length";
+  Array.map (fun c -> cluster_assignment.(c)) t.cluster_of
+
+let validate t g =
+  let n = Graph.n_tasks g in
+  let problems = ref [] in
+  let say fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  if Array.length t.cluster_of <> n then say "cluster_of length mismatch";
+  Array.iteri
+    (fun c ms ->
+      List.iter
+        (fun v -> if t.cluster_of.(v) <> c then say "member %d not mapped to %d" v c)
+        ms)
+    t.members;
+  let member_count = Array.fold_left (fun acc ms -> acc + List.length ms) 0 t.members in
+  if member_count <> n then say "members cover %d of %d tasks" member_count n;
+  if Graph.n_tasks t.clustered <> Array.length t.members then
+    say "clustered node count disagrees with members";
+  List.iter
+    (fun { Graph.src; dst; _ } ->
+      let cs = t.cluster_of.(src) and cd = t.cluster_of.(dst) in
+      if cs <> cd && not (Graph.has_edge t.clustered cs cd) then
+        say "edge %d->%d lost across clusters" src dst)
+    (Graph.edges g);
+  match !problems with [] -> Ok () | l -> Error (String.concat "; " (List.rev l))

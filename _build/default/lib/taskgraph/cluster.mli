@@ -1,0 +1,41 @@
+(** Communication-driven task clustering — the classic co-synthesis
+    pre-pass (Sarkar-style linear clustering): tasks joined by heavy edges
+    are fused so the scheduler can never map them apart, zeroing the
+    heaviest bus traffic at the cost of reduced mapping freedom.
+
+    The result is a smaller task graph whose nodes are clusters, plus the
+    mappings needed to lift a cluster-level schedule back to tasks. *)
+
+type t = {
+  clustered : Graph.t;         (** one node per cluster *)
+  cluster_of : int array;      (** original task id -> cluster id *)
+  members : Task.id list array; (** cluster id -> original tasks, in order *)
+  internalized_data : float;   (** edge payload removed from the bus *)
+}
+
+val linear : ?threshold:float -> Graph.t -> t
+(** Greedy linear clustering: scan edges by decreasing payload and merge
+    endpoint clusters when (a) the payload strictly exceeds [threshold]
+    (default 0: merge on any positive payload), (b) both endpoints are
+    still singletons-or-chain-ends so every cluster remains a path
+    (linear), and (c) the merge keeps the cluster graph acyclic.
+
+    Cluster [c]'s node carries the fresh task type [c]; schedule the
+    clustered graph against a library derived with
+    [Tats_techlib.Library.aggregate ~member_types:(member_types t g)], whose
+    tables sum the members' work. The clustered graph's edge payloads are
+    the sums of the original cross-cluster payloads; the deadline is
+    unchanged. *)
+
+val member_types : t -> Graph.t -> int list array
+(** Per cluster, the original task types of its members in chain order —
+    the input [Tats_techlib.Library.aggregate] needs. *)
+
+val lift_assignment : t -> cluster_assignment:int array -> int array
+(** Expand a PE assignment over clusters into one over original tasks. *)
+
+val validate : t -> Graph.t -> (unit, string) result
+(** Structural soundness: [cluster_of]/[members] are mutually consistent,
+    the clustered graph is a DAG with one node per cluster, and every
+    original edge is either internal to a cluster or represented across
+    clusters. *)

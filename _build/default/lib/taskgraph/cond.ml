@@ -1,0 +1,125 @@
+type var = int
+type guard = (var * bool) list
+
+module Lit = struct
+  type t = var * bool
+
+  let compare = compare
+end
+
+module Lset = Set.Make (Lit)
+
+type t = {
+  graph : Graph.t;
+  edge_cond : (Task.id * Task.id, var * bool) Hashtbl.t;
+  guards : Lset.t array; (* per task, resolved *)
+}
+
+(* A task's raw constraint set is the union over incoming paths; a variable
+   present with both polarities means the task runs regardless of that
+   variable, so both literals are dropped. *)
+let resolve raw =
+  Lset.filter (fun (v, b) -> not (Lset.mem (v, not b) raw)) raw
+
+let make g conds =
+  let edge_cond = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, var, polarity) ->
+      if var < 0 then invalid_arg "Cond.make: negative condition variable";
+      if not (Graph.has_edge g src dst) then
+        invalid_arg "Cond.make: condition on a non-existent edge";
+      if Hashtbl.mem edge_cond (src, dst) then
+        invalid_arg "Cond.make: duplicate condition on an edge";
+      Hashtbl.add edge_cond (src, dst) (var, polarity))
+    conds;
+  let n = Graph.n_tasks g in
+  let raw = Array.make n Lset.empty in
+  let order = Graph.topological_order g in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun (w, _) ->
+          let inherited = raw.(v) in
+          let with_edge =
+            match Hashtbl.find_opt edge_cond (v, w) with
+            | Some lit -> Lset.add lit inherited
+            | None -> inherited
+          in
+          raw.(w) <- Lset.union raw.(w) with_edge)
+        (Graph.succs g v))
+    order;
+  { graph = g; edge_cond; guards = Array.map resolve raw }
+
+let graph t = t.graph
+
+let guard_of t id = Lset.elements t.guards.(id)
+
+let mutually_exclusive t a b =
+  Lset.exists (fun (v, pol) -> Lset.mem (v, not pol) t.guards.(b)) t.guards.(a)
+
+let exclusion_pairs t =
+  let n = Graph.n_tasks t.graph in
+  let acc = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto a + 1 do
+      if mutually_exclusive t a b then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let annotate_random rng ~fork_probability g =
+  if fork_probability < 0.0 || fork_probability > 1.0 then
+    invalid_arg "Cond.annotate_random: probability out of range";
+  let next_var = ref 0 in
+  let conds = ref [] in
+  for v = 0 to Graph.n_tasks g - 1 do
+    match Graph.succs g v with
+    | (s1, _) :: (s2, _) :: _
+      when Tats_util.Rng.float rng 1.0 < fork_probability ->
+        let var = !next_var in
+        incr next_var;
+        conds := (v, s1, var, true) :: (v, s2, var, false) :: !conds
+    | _ -> ()
+  done;
+  make g (List.rev !conds)
+
+let variables t =
+  let module Iset = Set.Make (Int) in
+  let vars =
+    Hashtbl.fold (fun _ (var, _) acc -> Iset.add var acc) t.edge_cond Iset.empty
+  in
+  Iset.elements vars
+
+let scenarios ?(limit = 256) t =
+  let vars = variables t in
+  let count = 1 lsl List.length vars in
+  if count > limit then
+    invalid_arg
+      (Printf.sprintf "Cond.scenarios: %d scenarios exceed the limit %d" count limit);
+  let rec expand = function
+    | [] -> [ [] ]
+    | var :: rest ->
+        let tails = expand rest in
+        List.concat_map (fun tail -> [ (var, true) :: tail; (var, false) :: tail ]) tails
+  in
+  expand vars
+
+let active_tasks t assignment =
+  let satisfied guard =
+    Lset.for_all
+      (fun (var, polarity) ->
+        match List.assoc_opt var assignment with
+        | Some value -> value = polarity
+        | None -> false)
+      guard
+  in
+  let acc = ref [] in
+  for v = Graph.n_tasks t.graph - 1 downto 0 do
+    if satisfied t.guards.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let scenario_makespan t ~finish assignment =
+  List.fold_left
+    (fun acc v -> Float.max acc (finish v))
+    0.0 (active_tasks t assignment)

@@ -1,0 +1,63 @@
+(** Conditional task graphs — the Xie–Wolf (DATE'01) substrate.
+
+    Some edges are guarded by the boolean outcome of a condition variable
+    evaluated at run time (e.g. a branch computed by the producer task). Two
+    tasks whose activation guards require opposite values of some variable
+    are {e mutually exclusive}: at most one of them executes in any run, so a
+    scheduler may let them share a processing element's time slot. *)
+
+type var = int
+(** Condition variables, non-negative and graph-wide. *)
+
+type guard = (var * bool) list
+(** A conjunction of variable/polarity literals; [[]] is "always". *)
+
+type t
+
+val make : Graph.t -> (Task.id * Task.id * var * bool) list -> t
+(** [make g conds] attaches condition [(var, polarity)] to each listed edge
+    of [g]. Raises [Invalid_argument] if a listed edge does not exist in [g]
+    or appears twice. *)
+
+val graph : t -> Graph.t
+
+val guard_of : t -> Task.id -> guard
+(** Activation guard of a task: the union of literals along all paths from
+    the sources, where an edge's literal applies to its destination and
+    guards propagate transitively. A task reachable through two paths with
+    conflicting literals on the same variable is considered unconditional on
+    that variable (it runs either way), so the conflicting pair is dropped —
+    the standard conservative approximation. *)
+
+val mutually_exclusive : t -> Task.id -> Task.id -> bool
+(** True when some variable appears with opposite polarity in the two tasks'
+    guards — the pair can never both execute. *)
+
+val exclusion_pairs : t -> (Task.id * Task.id) list
+(** All mutually exclusive pairs [(a, b)] with [a < b]. *)
+
+val annotate_random :
+  Tats_util.Rng.t -> fork_probability:float -> Graph.t -> t
+(** Randomly turns forks into conditional branches: each task with at least
+    two successors becomes, with the given probability, a branch on a fresh
+    condition variable whose first two out-edges get opposite polarities.
+    With probability 0 the result has no conditions. *)
+
+val variables : t -> var list
+(** Condition variables actually used, ascending. *)
+
+val scenarios : ?limit:int -> t -> (var * bool) list list
+(** All assignments of the used variables (2^n, capped at [limit], default
+    256 — raises [Invalid_argument] beyond it). The empty conjunction [[]]
+    is returned for an unconditional graph. *)
+
+val active_tasks : t -> (var * bool) list -> Task.id list
+(** Tasks whose guard is satisfied under the (total) assignment, ascending.
+    Unconditional tasks are always active. *)
+
+val scenario_makespan :
+  t -> finish:(Task.id -> float) -> (var * bool) list -> float
+(** The makespan a given schedule exhibits in one scenario: the latest
+    finish among the active tasks (0 when none). With a schedule built for
+    the worst case, the maximum over {!scenarios} equals the schedule
+    makespan only if every task is active in some scenario. *)

@@ -1,0 +1,30 @@
+let compute ?(edge_weight = fun _ -> 0.0) ~node_weight g =
+  let n = Graph.n_tasks g in
+  let sc = Array.make n 0.0 in
+  let order = Graph.topological_order g in
+  (* Reverse topological order: successors are final before their
+     predecessors are computed. *)
+  for k = n - 1 downto 0 do
+    let v = order.(k) in
+    let own = node_weight (Graph.task g v) in
+    let downstream =
+      List.fold_left
+        (fun acc (w, data) ->
+          let e = { Graph.src = v; dst = w; data } in
+          Float.max acc (edge_weight e +. sc.(w)))
+        0.0 (Graph.succs g v)
+    in
+    sc.(v) <- own +. downstream
+  done;
+  sc
+
+let hop_distance g =
+  let sc = compute ~node_weight:(fun _ -> 1.0) g in
+  Array.map int_of_float sc
+
+let rank_order sc =
+  let ids = Array.init (Array.length sc) Fun.id in
+  Array.sort
+    (fun a b -> if sc.(a) <> sc.(b) then compare sc.(b) sc.(a) else compare a b)
+    ids;
+  ids

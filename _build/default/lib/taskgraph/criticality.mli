@@ -1,0 +1,26 @@
+(** Static criticality (SC), the list-scheduling priority of the paper.
+
+    SC of a task is "the maximum distance from the current task to the end
+    task", i.e. the longest weighted path from the task to any sink. Node
+    weights are supplied by the caller (typically the average WCET of the
+    task over all processing-element kinds), edge weights by the
+    communication model. *)
+
+val compute :
+  ?edge_weight:(Graph.edge -> float) ->
+  node_weight:(Task.t -> float) ->
+  Graph.t ->
+  float array
+(** [compute ~node_weight g] returns [sc] indexed by task id, where
+    [sc.(i) = node_weight i + max over successors s of
+    (edge_weight (i->s) + sc.(s))] and sinks have [sc = node_weight].
+    [edge_weight] defaults to [fun _ -> 0.]. *)
+
+val hop_distance : Graph.t -> int array
+(** Unweighted variant: number of tasks (inclusive) on the longest chain from
+    each task to a sink. *)
+
+val rank_order : float array -> int array
+(** Task ids sorted by decreasing criticality; ties broken by ascending id.
+    A valid list-scheduling priority order when criticalities come from
+    [compute]. *)

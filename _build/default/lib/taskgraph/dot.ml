@@ -1,0 +1,29 @@
+let to_dot ?(highlight = fun _ -> None) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" (Graph.name g));
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box];\n";
+  Array.iter
+    (fun task ->
+      let open Task in
+      let color =
+        match highlight task.id with
+        | Some c -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" c
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\ntype %d\"%s];\n" task.id task.name
+           task.task_type color))
+    (Graph.tasks g);
+  List.iter
+    (fun { Graph.src; dst; data } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%.0f\"];\n" src dst data))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?highlight g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight g))

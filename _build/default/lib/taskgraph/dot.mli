@@ -1,0 +1,9 @@
+(** Graphviz export of task graphs, for inspection and documentation. *)
+
+val to_dot :
+  ?highlight:(Task.id -> string option) -> Graph.t -> string
+(** [to_dot g] renders a [digraph]. [highlight] may map a task to a fill
+    color (e.g. the processing element it was assigned to). *)
+
+val save : ?highlight:(Task.id -> string option) -> Graph.t -> string -> unit
+(** [save g path] writes the DOT text to [path]. *)

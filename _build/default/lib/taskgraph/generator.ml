@@ -1,0 +1,96 @@
+module Rng = Tats_util.Rng
+
+type spec = {
+  n_tasks : int;
+  n_edges : int;
+  deadline : float;
+  n_task_types : int;
+  min_data : float;
+  max_data : float;
+}
+
+let default_spec =
+  {
+    n_tasks = 20;
+    n_edges = 24;
+    deadline = 1000.0;
+    n_task_types = 8;
+    min_data = 8.0;
+    max_data = 64.0;
+  }
+
+let feasible_edges ~n_tasks =
+  (Stdlib.max 0 (n_tasks - 1), n_tasks * (n_tasks - 1) / 2)
+
+(* Assign each task to a layer. The layer count scales with sqrt of the task
+   count, which gives graphs with both parallelism and depth, like TGFF's
+   series chains with fan-out. *)
+let assign_layers rng n =
+  let n_layers = Stdlib.max 2 (int_of_float (sqrt (float_of_int n) *. 1.5)) in
+  let n_layers = Stdlib.min n_layers n in
+  let layer_of = Array.make n 0 in
+  (* Guarantee every layer is non-empty, then scatter the rest. *)
+  for i = 0 to n_layers - 1 do
+    layer_of.(i) <- i
+  done;
+  for i = n_layers to n - 1 do
+    layer_of.(i) <- Rng.int rng n_layers
+  done;
+  Rng.shuffle rng layer_of;
+  layer_of
+
+let generate ~seed ~name spec =
+  let { n_tasks; n_edges; deadline; n_task_types; min_data; max_data } = spec in
+  if n_tasks < 1 then invalid_arg "Generator.generate: need at least one task";
+  if n_task_types < 1 then invalid_arg "Generator.generate: need a task type";
+  if min_data < 0.0 || max_data < min_data then
+    invalid_arg "Generator.generate: bad data range";
+  let lo, hi = feasible_edges ~n_tasks in
+  if n_edges < lo || n_edges > hi then
+    invalid_arg
+      (Printf.sprintf "Generator.generate: %d edges outside feasible [%d, %d]"
+         n_edges lo hi);
+  let rng = Rng.create seed in
+  let layer_of = assign_layers rng n_tasks in
+  let b = Graph.builder ~name ~deadline in
+  for _ = 1 to n_tasks do
+    ignore (Graph.add_task b ~task_type:(Rng.int rng n_task_types) () : Task.id)
+  done;
+  let data () = Rng.uniform rng min_data max_data in
+  (* Order task ids so that edges always point from a lower to a higher
+     layer (ties broken by id), which keeps the graph acyclic. *)
+  let order = Array.init n_tasks Fun.id in
+  Array.sort
+    (fun a b ->
+      if layer_of.(a) <> layer_of.(b) then compare layer_of.(a) layer_of.(b)
+      else compare a b)
+    order;
+  let pos = Array.make n_tasks 0 in
+  Array.iteri (fun k v -> pos.(v) <- k) order;
+  let edge_set = Hashtbl.create (2 * n_edges) in
+  let have = ref 0 in
+  let try_add u v =
+    (* Normalize so the edge follows the global position order. *)
+    let u, v = if pos.(u) < pos.(v) then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem edge_set (u, v)) then begin
+      Hashtbl.add edge_set (u, v) ();
+      Graph.add_edge b ~data:(data ()) u v;
+      incr have;
+      true
+    end
+    else false
+  in
+  (* Spanning structure: each task after the first (in position order) links
+     to a random earlier task, so the graph is weakly connected. *)
+  for k = 1 to n_tasks - 1 do
+    if !have < n_edges then begin
+      let parent = order.(Rng.int rng k) in
+      ignore (try_add parent order.(k) : bool)
+    end
+  done;
+  (* Fill in the remaining edges uniformly among forward pairs. *)
+  while !have < n_edges do
+    let i = Rng.int rng n_tasks and j = Rng.int rng n_tasks in
+    if i <> j then ignore (try_add i j : bool)
+  done;
+  Graph.build b

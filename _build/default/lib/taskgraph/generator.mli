@@ -1,0 +1,29 @@
+(** TGFF-style random task-graph generation.
+
+    The paper's benchmarks are characterized only by task count, edge count
+    and deadline; this generator produces layered random DAGs matching those
+    counts exactly, weakly connected, with seeded determinism. *)
+
+type spec = {
+  n_tasks : int;        (** >= 1 *)
+  n_edges : int;        (** see {!feasible_edges} *)
+  deadline : float;     (** > 0 *)
+  n_task_types : int;   (** task types are drawn uniformly from [0, n) *)
+  min_data : float;     (** edge data lower bound *)
+  max_data : float;     (** edge data upper bound *)
+}
+
+val default_spec : spec
+(** 20 tasks, 24 edges, deadline 1000, 8 task types, data in [8, 64]. *)
+
+val feasible_edges : n_tasks:int -> int * int
+(** [(lo, hi)] — the edge counts for which generation is guaranteed:
+    connectivity needs at least [n_tasks - 1]; a DAG admits at most
+    [n_tasks * (n_tasks - 1) / 2]. *)
+
+val generate : seed:int -> name:string -> spec -> Graph.t
+(** Layered construction: tasks are spread over layers, every non-first-layer
+    task gets one incoming edge from an earlier layer (yielding a connected
+    spanning structure), and the remaining edges are drawn uniformly among
+    forward pairs. Raises [Invalid_argument] when [spec] is out of the
+    feasible range. *)

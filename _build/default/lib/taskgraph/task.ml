@@ -1,0 +1,11 @@
+type id = int
+type t = { id : id; name : string; task_type : int }
+
+let make ~id ?name ~task_type () =
+  assert (id >= 0 && task_type >= 0);
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
+  { id; name; task_type }
+
+let equal a b = a.id = b.id && String.equal a.name b.name && a.task_type = b.task_type
+
+let pp ppf t = Format.fprintf ppf "%s(type=%d)" t.name t.task_type

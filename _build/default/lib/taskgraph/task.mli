@@ -1,0 +1,17 @@
+(** Tasks: the vertices of an application task graph.
+
+    A task carries a [task_type], the key into the technology library's
+    WCET/WCPC tables — two tasks of the same type run identically on the same
+    processing element. *)
+
+type id = int
+(** Dense task identifiers [0 .. n-1] within one graph. *)
+
+type t = { id : id; name : string; task_type : int }
+
+val make : id:id -> ?name:string -> task_type:int -> unit -> t
+(** [make ~id ~task_type ()] names the task ["t<id>"] unless [name] is
+    given. [task_type] must be non-negative. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/techlib/catalog.ml: Library List Pe Tats_taskgraph

@@ -1,0 +1,1 @@
+lib/techlib/catalog.mli: Library Pe

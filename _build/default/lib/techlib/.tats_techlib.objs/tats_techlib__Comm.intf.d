@@ -1,0 +1,1 @@
+lib/techlib/comm.mli:

@@ -1,0 +1,1 @@
+lib/techlib/library.ml: Array Comm Float Format List Pe Printf Tats_util

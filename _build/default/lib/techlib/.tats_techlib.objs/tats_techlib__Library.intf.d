@@ -1,0 +1,1 @@
+lib/techlib/library.mli: Comm Format Pe

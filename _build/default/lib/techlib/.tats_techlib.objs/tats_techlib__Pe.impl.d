@@ -1,0 +1,1 @@
+lib/techlib/pe.ml: Array Format List

@@ -1,0 +1,43 @@
+let mm2 x = x *. 1e-6 (* mm^2 to m^2 *)
+
+(* Specializations reference task types of the default benchmark suite
+   (10 types, see Tats_taskgraph.Benchmarks.n_task_types). *)
+let heterogeneous () =
+  [
+    (* The lp-core draws the least power but is so slow that its energy per
+       task is *worse* than the std-core's — the gap heuristic 1 falls into
+       and heuristic 3 avoids (the paper's conclusion). *)
+    Pe.make_kind ~kind_id:0 ~name:"lp-core" ~area:(mm2 9.0) ~cost:80.0
+      ~speed:0.4 ~power_scale:3.6 ~idle_power:0.3 ();
+    Pe.make_kind ~kind_id:1 ~name:"std-core" ~area:(mm2 16.0) ~cost:100.0
+      ~speed:1.0 ~power_scale:8.0 ~idle_power:0.6 ();
+    Pe.make_kind ~kind_id:2 ~name:"hp-core" ~area:(mm2 25.0) ~cost:260.0
+      ~speed:1.7 ~power_scale:16.0 ~idle_power:1.2 ();
+    Pe.make_kind ~kind_id:3 ~name:"dsp" ~area:(mm2 12.0) ~cost:150.0 ~speed:0.9
+      ~power_scale:6.0 ~idle_power:0.4
+      ~specialization:[ (1, 0.45); (4, 0.4); (7, 0.5) ]
+      ();
+    Pe.make_kind ~kind_id:4 ~name:"accel" ~area:(mm2 8.0) ~cost:180.0 ~speed:0.5
+      ~power_scale:5.0 ~idle_power:0.3
+      ~specialization:[ (2, 0.3); (8, 0.35) ]
+      ();
+  ]
+
+let platform_kind () =
+  Pe.make_kind ~kind_id:0 ~name:"std-core" ~area:(mm2 16.0) ~cost:100.0
+    ~speed:1.0 ~power_scale:8.0 ~idle_power:0.6 ()
+
+let platform_instances n =
+  Pe.instances (List.init n (fun _ -> platform_kind ()))
+
+let library_seed = 77
+
+let default_library () =
+  Library.generate ~seed:library_seed
+    ~n_task_types:Tats_taskgraph.Benchmarks.n_task_types
+    ~kinds:(heterogeneous ()) ()
+
+let platform_library () =
+  Library.generate ~seed:library_seed
+    ~n_task_types:Tats_taskgraph.Benchmarks.n_task_types
+    ~kinds:[ platform_kind () ] ()

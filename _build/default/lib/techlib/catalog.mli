@@ -1,0 +1,23 @@
+(** Default PE catalogues used by the experiments.
+
+    Co-synthesis draws from a heterogeneous catalogue (low-power, standard
+    and high-performance cores plus a DSP and an accelerator); the
+    platform-based architecture uses four identical standard cores, matching
+    the paper's "four identical PEs". *)
+
+val heterogeneous : unit -> Pe.kind list
+(** Five kinds; the DSP and accelerator are specialized for a subset of the
+    default benchmark task types. *)
+
+val platform_kind : unit -> Pe.kind
+(** The standard core used (x4) by the platform-based architecture. *)
+
+val platform_instances : int -> Pe.inst array
+(** [platform_instances n] — [n] identical standard cores. *)
+
+val default_library : unit -> Library.t
+(** The library shared by all paper experiments: heterogeneous catalogue,
+    {!Tats_taskgraph.Benchmarks.n_task_types} task types, fixed seed. *)
+
+val platform_library : unit -> Library.t
+(** Same task types and seed, restricted to the platform kind (kind_id 0). *)

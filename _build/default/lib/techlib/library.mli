@@ -1,0 +1,53 @@
+(** The target technology library of the paper: worst-case execution time
+    (WCET) and worst-case power consumption (WCPC) for every task type on
+    every PE kind, plus the communication model. *)
+
+type t
+
+val generate : seed:int -> n_task_types:int -> kinds:Pe.kind list -> ?comm:Comm.t -> unit -> t
+(** Synthesizes a consistent library: each task type gets a reference WCET
+    (uniform in [40, 160] time units) and a power intensity (uniform in
+    [0.6, 1.6]); on a kind, WCET = reference / speed x jitter x any
+    specialization multiplier, WCPC = power_scale x intensity x jitter.
+    Faster kinds therefore run hotter — the tension the paper's heuristics
+    trade on. *)
+
+val of_tables :
+  kinds:Pe.kind list ->
+  wcet:float array array ->
+  wcpc:float array array ->
+  ?comm:Comm.t ->
+  unit ->
+  t
+(** Explicit tables indexed [task_type][kind_id]. Both must be rectangular,
+    positive, and agree in shape. *)
+
+val n_task_types : t -> int
+val kinds : t -> Pe.kind array
+val kind : t -> int -> Pe.kind
+val comm : t -> Comm.t
+
+val wcet : t -> task_type:int -> kind:int -> float
+val wcpc : t -> task_type:int -> kind:int -> float
+val energy : t -> task_type:int -> kind:int -> float
+(** [wcet * wcpc]: the task's worst-case energy on that kind — heuristic 3's
+    objective. *)
+
+val wcet_avg : t -> task_type:int -> float
+(** Average WCET over all kinds: the node weight used for static
+    criticality. *)
+
+val max_wcpc : t -> float
+val max_energy : t -> float
+(** Library-wide maxima, used to normalize DC cost terms. *)
+
+val aggregate : t -> member_types:int list array -> t
+(** The library for a clustered task graph (see
+    {!Tats_taskgraph.Cluster}): cluster [c] becomes task type [c] whose
+    WCET on a kind is the sum of its members' WCETs (a fused chain
+    serializes on one PE) and whose WCPC is the energy-weighted average
+    power, so cluster energy = sum of member energies. Kinds and the
+    communication model are inherited. Every member list must be
+    non-empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/thermal/gridmodel.ml: Array Float Package Tats_floorplan Tats_linalg

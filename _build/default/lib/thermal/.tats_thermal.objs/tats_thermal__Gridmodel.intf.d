@@ -1,0 +1,1 @@
+lib/thermal/gridmodel.mli: Package Tats_floorplan

@@ -1,0 +1,1 @@
+lib/thermal/hotspot.ml: Package Rcmodel Steady Tats_floorplan Tats_util

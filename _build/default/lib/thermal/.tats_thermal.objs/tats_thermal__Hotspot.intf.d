@@ -1,0 +1,1 @@
+lib/thermal/hotspot.mli: Package Rcmodel Steady Tats_floorplan

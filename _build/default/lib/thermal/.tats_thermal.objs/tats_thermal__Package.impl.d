@@ -1,0 +1,1 @@
+lib/thermal/package.ml: Float Format

@@ -1,0 +1,1 @@
+lib/thermal/rcmodel.ml: Array Package Tats_floorplan Tats_linalg

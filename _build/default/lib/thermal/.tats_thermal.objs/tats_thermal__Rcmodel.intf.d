@@ -1,0 +1,1 @@
+lib/thermal/rcmodel.mli: Package Tats_floorplan Tats_linalg

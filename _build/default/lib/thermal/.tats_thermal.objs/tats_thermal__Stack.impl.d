@@ -1,0 +1,1 @@
+lib/thermal/stack.ml: Array Float Fun Package Tats_floorplan Tats_linalg

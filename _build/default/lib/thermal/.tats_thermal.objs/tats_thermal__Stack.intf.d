@@ -1,0 +1,1 @@
+lib/thermal/stack.mli: Package Tats_floorplan

@@ -1,0 +1,1 @@
+lib/thermal/steady.ml: Array Float Package Rcmodel Tats_linalg

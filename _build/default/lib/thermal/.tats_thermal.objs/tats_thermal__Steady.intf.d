@@ -1,0 +1,1 @@
+lib/thermal/steady.mli: Rcmodel

@@ -1,0 +1,1 @@
+lib/thermal/transient.ml: Array Float Package Rcmodel Tats_linalg

@@ -1,0 +1,146 @@
+module Sparse = Tats_linalg.Sparse
+module Cg = Tats_linalg.Cg
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+
+type t = {
+  package : Package.t;
+  nx : int;
+  ny : int;
+  n_blocks : int;
+  a : Sparse.t; (* (nx*ny + 2) x (nx*ny + 2) *)
+  g_amb : float array;
+  coverage : (int * float) array array;
+      (* per block: (cell, fraction of the block's area in that cell) *)
+  cell_area : float;
+}
+
+let n_cells t = t.nx * t.ny
+
+let build ?(nx = 32) ?(ny = 32) (pkg : Package.t) (placement : Placement.t) =
+  if nx < 1 || ny < 1 then invalid_arg "Gridmodel.build: bad grid";
+  let n_blocks = Array.length placement.Placement.rects in
+  if n_blocks = 0 then invalid_arg "Gridmodel.build: empty floorplan";
+  let die_w = placement.Placement.die_w and die_h = placement.Placement.die_h in
+  let cw = die_w /. float_of_int nx and ch = die_h /. float_of_int ny in
+  let cell_area = cw *. ch in
+  let n = nx * ny in
+  let spreader = n and sink = n + 1 in
+  let nodes = n + 2 in
+  let idx ix iy = (iy * nx) + ix in
+  let triplets = ref [] in
+  let connect i j g =
+    if g > 0.0 then
+      triplets :=
+        (i, i, g) :: (j, j, g) :: (i, j, -.g) :: (j, i, -.g) :: !triplets
+  in
+  (* Lateral cell-to-cell conduction: g = k * t * section / distance. *)
+  let g_we = Package.lateral_conductance pkg ~shared_len:ch ~distance:cw in
+  let g_ns = Package.lateral_conductance pkg ~shared_len:cw ~distance:ch in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 1 do
+      if ix + 1 < nx then connect (idx ix iy) (idx (ix + 1) iy) g_we;
+      if iy + 1 < ny then connect (idx ix iy) (idx ix (iy + 1)) g_ns
+    done
+  done;
+  (* Vertical path per cell. The die-conduction part scales with cell area;
+     the spreading (constriction) part is a block-level phenomenon, so it is
+     calibrated against the functional block covering the cell: spreading
+     the block's constriction resistance over its cells in proportion to
+     area makes the parallel combination over the block reproduce the
+     compact model's block resistance exactly. Cells not covered by any
+     block use the die as the reference region. *)
+  let die_area = die_w *. die_h in
+  let constriction area = pkg.Package.r_spread_coeff /. sqrt (area /. Float.pi) in
+  let covering_block_area ix iy =
+    let cell =
+      {
+        Block.x = float_of_int ix *. cw;
+        y = float_of_int iy *. ch;
+        w = cw;
+        h = ch;
+      }
+    in
+    let best = ref (0.0, die_area) in
+    Array.iter
+      (fun rect ->
+        let ov = Block.overlap_area rect cell in
+        if ov > fst !best then best := (ov, Block.rect_area rect))
+      placement.Placement.rects;
+    snd !best
+  in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 1 do
+      let ref_area = covering_block_area ix iy in
+      let r_v =
+        (pkg.Package.die_thickness /. (pkg.Package.k_die *. cell_area))
+        +. (constriction ref_area *. (ref_area /. cell_area))
+      in
+      connect (idx ix iy) spreader (1.0 /. r_v)
+    done
+  done;
+  connect spreader sink (1.0 /. pkg.Package.r_spreader_sink);
+  let g_amb = Array.make nodes 0.0 in
+  g_amb.(sink) <- 1.0 /. pkg.Package.r_convection;
+  triplets := (sink, sink, g_amb.(sink)) :: !triplets;
+  let a = Sparse.of_triplets ~rows:nodes ~cols:nodes !triplets in
+  (* Coverage map: which cells each block overlaps and by what fraction of
+     the block's own area. *)
+  let coverage =
+    Array.map
+      (fun rect ->
+        let acc = ref [] in
+        let block_area = Block.rect_area rect in
+        for iy = 0 to ny - 1 do
+          for ix = 0 to nx - 1 do
+            let cell =
+              {
+                Block.x = float_of_int ix *. cw;
+                y = float_of_int iy *. ch;
+                w = cw;
+                h = ch;
+              }
+            in
+            let ov = Block.overlap_area rect cell in
+            if ov > 1e-15 then acc := (idx ix iy, ov /. block_area) :: !acc
+          done
+        done;
+        Array.of_list !acc)
+      placement.Placement.rects
+  in
+  { package = pkg; nx; ny; n_blocks; a; g_amb; coverage; cell_area }
+
+let node_temperatures t ~power =
+  if Array.length power <> t.n_blocks then
+    invalid_arg "Gridmodel: power vector must have one entry per block";
+  let nodes = (t.nx * t.ny) + 2 in
+  let rhs = Array.init nodes (fun i -> t.g_amb.(i) *. t.package.Package.ambient) in
+  Array.iteri
+    (fun b cells ->
+      Array.iter (fun (cell, frac) -> rhs.(cell) <- rhs.(cell) +. (power.(b) *. frac)) cells)
+    t.coverage;
+  let x, _stats = Cg.solve ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs in
+  x
+
+let block_temperatures t ~power =
+  let temps = node_temperatures t ~power in
+  Array.map
+    (fun cells ->
+      (* Weighted by the block-area fraction in each cell (fractions sum to
+         ~1 for blocks inside the die). *)
+      let total_w = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 cells in
+      let s = Array.fold_left (fun acc (c, f) -> acc +. (f *. temps.(c))) 0.0 cells in
+      if total_w > 0.0 then s /. total_w else t.package.Package.ambient)
+    t.coverage
+
+let cell_temperatures t ~power =
+  let temps = node_temperatures t ~power in
+  Array.init t.ny (fun iy -> Array.init t.nx (fun ix -> temps.((iy * t.nx) + ix)))
+
+let max_cell_temperature t ~power =
+  let temps = node_temperatures t ~power in
+  let worst = ref neg_infinity in
+  for i = 0 to (t.nx * t.ny) - 1 do
+    worst := Float.max !worst temps.(i)
+  done;
+  !worst

@@ -1,0 +1,24 @@
+(** Grid-mode thermal model: the die is discretized into rectangular cells
+    (HotSpot's "grid model"), each cell a node with lateral conduction to
+    its 4-neighbours and a vertical path to the shared spreader/sink stack.
+    Block powers are spread over the cells they cover, and block
+    temperatures read back as area-weighted cell averages.
+
+    The resulting system is large and sparse; it is solved with conjugate
+    gradient (see {!Tats_linalg.Cg}). Used to cross-validate the compact
+    block model and in the solver ablation bench. *)
+
+type t
+
+val build : ?nx:int -> ?ny:int -> Package.t -> Tats_floorplan.Placement.t -> t
+(** Defaults: 32x32 cells over the die bounding box. *)
+
+val n_cells : t -> int
+
+val block_temperatures : t -> power:float array -> float array
+(** [power] per block (W); returns per-block mean temperature (°C). *)
+
+val cell_temperatures : t -> power:float array -> float array array
+(** Row-major [ny][nx] cell temperatures, for heat-map rendering. *)
+
+val max_cell_temperature : t -> power:float array -> float

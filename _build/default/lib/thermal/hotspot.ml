@@ -1,0 +1,31 @@
+module Placement = Tats_floorplan.Placement
+
+type t = {
+  package : Package.t;
+  placement : Placement.t;
+  model : Rcmodel.t;
+  solver : Steady.t;
+  mutable inquiries : int;
+}
+
+let create ?(package = Package.default) placement =
+  let model = Rcmodel.build package placement in
+  { package; placement; model; solver = Steady.create model; inquiries = 0 }
+
+let n_blocks t = Rcmodel.n_blocks t.model
+let package t = t.package
+let placement t = t.placement
+let model t = t.model
+let solver t = t.solver
+let inquiries t = t.inquiries
+
+let query t ~power =
+  t.inquiries <- t.inquiries + 1;
+  Steady.block_temperatures t.solver ~power
+
+let query_with_leakage t ~dynamic ~idle =
+  t.inquiries <- t.inquiries + 1;
+  fst (Steady.solve_with_leakage t.solver ~dynamic ~idle)
+
+let average_temperature t ~power = Tats_util.Stats.mean (query t ~power)
+let peak_temperature t ~power = Tats_util.Stats.max (query t ~power)

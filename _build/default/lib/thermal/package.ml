@@ -1,0 +1,42 @@
+type t = {
+  ambient : float;
+  die_thickness : float;
+  k_die : float;
+  die_cap : float;
+  r_spread_coeff : float;
+  r_spreader_sink : float;
+  r_convection : float;
+  c_spreader : float;
+  c_sink : float;
+  leak_beta : float;
+  leak_t_ref : float;
+}
+
+let default =
+  {
+    ambient = 45.0;
+    die_thickness = 5e-4;
+    k_die = 110.0;
+    die_cap = 1.75e6;
+    r_spread_coeff = 0.008;
+    r_spreader_sink = 0.1;
+    r_convection = 0.45;
+    c_spreader = 30.0;
+    c_sink = 150.0;
+    leak_beta = 0.02;
+    leak_t_ref = 25.0;
+  }
+
+let block_vertical_resistance t ~area =
+  if area <= 0.0 then invalid_arg "Package.block_vertical_resistance: bad area";
+  (t.die_thickness /. (t.k_die *. area))
+  +. (t.r_spread_coeff /. sqrt (area /. Float.pi))
+
+let lateral_conductance t ~shared_len ~distance =
+  if shared_len <= 0.0 || distance <= 0.0 then 0.0
+  else t.k_die *. t.die_thickness *. shared_len /. distance
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[ambient %.1f°C, die %.0fum Si (k=%.0f), R_conv %.2f K/W, leak beta %.3f@]"
+    t.ambient (t.die_thickness *. 1e6) t.k_die t.r_convection t.leak_beta

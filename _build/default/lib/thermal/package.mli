@@ -1,0 +1,35 @@
+(** Thermal package parameters for the compact HotSpot-style model.
+
+    The heat path is: silicon block -> (conduction through the die +
+    spreading into the heat spreader) -> lumped spreader -> lumped heat sink
+    -> convection to ambient, with lateral conduction between abutting
+    blocks. Defaults are tuned for the millimeter-scale embedded PEs of the
+    paper's experiments: per-block local resistances of a few K/W and a
+    shared package path below 1 K/W, which lands block temperatures in the
+    paper's 60–120 °C band for 5–45 W designs. *)
+
+type t = {
+  ambient : float;         (** °C; HotSpot's customary 45 °C *)
+  die_thickness : float;   (** m *)
+  k_die : float;           (** silicon conductivity, W/(m K) *)
+  die_cap : float;         (** volumetric heat capacity of Si, J/(m^3 K) *)
+  r_spread_coeff : float;
+      (** per-block spreading resistance = coeff / sqrt(area/pi), K/W *)
+  r_spreader_sink : float; (** lumped spreader->sink resistance, K/W *)
+  r_convection : float;    (** sink->ambient convection resistance, K/W *)
+  c_spreader : float;      (** lumped spreader capacitance, J/K *)
+  c_sink : float;          (** lumped sink capacitance, J/K *)
+  leak_beta : float;       (** leakage temperature exponent, 1/K *)
+  leak_t_ref : float;      (** temperature at which nominal idle power holds *)
+}
+
+val default : t
+
+val block_vertical_resistance : t -> area:float -> float
+(** Die conduction + spreading: [t/(k A) + coeff / sqrt(A/pi)]. *)
+
+val lateral_conductance : t -> shared_len:float -> distance:float -> float
+(** [k_die * die_thickness * shared_len / distance], W/K; 0 when the blocks
+    do not abut. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+module Matrix = Tats_linalg.Matrix
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+
+type t = {
+  package : Package.t;
+  n_blocks : int;
+  a : Matrix.t; (* L + diag(g_amb) *)
+  c : float array;
+  g_amb : float array;
+  lateral : Matrix.t; (* block-to-block conductances for inspection *)
+}
+
+let n_blocks t = t.n_blocks
+let n_nodes t = t.n_blocks + 2
+let spreader_node t = t.n_blocks
+let sink_node t = t.n_blocks + 1
+let package t = t.package
+let system_matrix t = Matrix.copy t.a
+let capacitances t = Array.copy t.c
+
+let build (pkg : Package.t) (placement : Placement.t) =
+  let n = Array.length placement.Placement.rects in
+  if n = 0 then invalid_arg "Rcmodel.build: empty floorplan";
+  let nodes = n + 2 in
+  let spreader = n and sink = n + 1 in
+  let a = Matrix.create nodes nodes in
+  let lateral = Matrix.create n n in
+  let connect i j g =
+    if g > 0.0 then begin
+      Matrix.add_to a i i g;
+      Matrix.add_to a j j g;
+      Matrix.add_to a i j (-.g);
+      Matrix.add_to a j i (-.g)
+    end
+  in
+  (* Lateral conduction between abutting blocks. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = placement.Placement.rects.(i) and rj = placement.Placement.rects.(j) in
+      let shared = Block.shared_boundary ri rj in
+      let g =
+        Package.lateral_conductance pkg ~shared_len:shared
+          ~distance:(Block.center_distance ri rj)
+      in
+      if g > 0.0 then begin
+        Matrix.set lateral i j g;
+        Matrix.set lateral j i g;
+        connect i j g
+      end
+    done
+  done;
+  (* Vertical path block -> spreader. *)
+  for i = 0 to n - 1 do
+    let area = Block.rect_area placement.Placement.rects.(i) in
+    let r = Package.block_vertical_resistance pkg ~area in
+    connect i spreader (1.0 /. r)
+  done;
+  (* Spreader -> sink -> ambient. *)
+  connect spreader sink (1.0 /. pkg.Package.r_spreader_sink);
+  let g_amb = Array.make nodes 0.0 in
+  g_amb.(sink) <- 1.0 /. pkg.Package.r_convection;
+  Matrix.add_to a sink sink g_amb.(sink);
+  (* Capacitances: silicon volume per block, lumped package masses. *)
+  let c = Array.make nodes 0.0 in
+  for i = 0 to n - 1 do
+    let area = Block.rect_area placement.Placement.rects.(i) in
+    c.(i) <- pkg.Package.die_cap *. area *. pkg.Package.die_thickness
+  done;
+  c.(spreader) <- pkg.Package.c_spreader;
+  c.(sink) <- pkg.Package.c_sink;
+  { package = pkg; n_blocks = n; a; c; g_amb; lateral }
+
+let rhs t ~power =
+  if Array.length power <> t.n_blocks then
+    invalid_arg "Rcmodel.rhs: power vector must have one entry per block";
+  Array.init (n_nodes t) (fun i ->
+      let inject = if i < t.n_blocks then power.(i) else 0.0 in
+      inject +. (t.g_amb.(i) *. t.package.Package.ambient))
+
+let lateral_conductance_between t i j = Matrix.get t.lateral i j

@@ -1,0 +1,32 @@
+(** The compact thermal RC network built from a placed floorplan.
+
+    Nodes: one per block, one lumped heat spreader, one lumped heat sink.
+    The network matrix is [A = L + diag(g_amb)] where [L] is the graph
+    Laplacian of the internal conductances and [g_amb] ties the sink to
+    ambient; steady state solves [A T = P + g_amb * T_amb]. *)
+
+type t
+
+val build : Package.t -> Tats_floorplan.Placement.t -> t
+
+val n_blocks : t -> int
+val n_nodes : t -> int
+(** [n_blocks + 2]. *)
+
+val spreader_node : t -> int
+val sink_node : t -> int
+
+val system_matrix : t -> Tats_linalg.Matrix.t
+(** A copy of [A] (symmetric positive definite). *)
+
+val capacitances : t -> float array
+(** Per-node thermal capacitances, J/K. *)
+
+val rhs : t -> power:float array -> float array
+(** [rhs ~power] with [power] per block (length [n_blocks], W) builds
+    [P + g_amb * T_amb] over all nodes. *)
+
+val package : t -> Package.t
+
+val lateral_conductance_between : t -> int -> int -> float
+(** Conductance used between two block nodes (0 when not abutting). *)

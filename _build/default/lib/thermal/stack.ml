@@ -1,0 +1,123 @@
+module Matrix = Tats_linalg.Matrix
+module Lu = Tats_linalg.Lu
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+
+type params = {
+  tim_thickness : float;
+  k_tim : float;
+  spreader_thickness : float;
+  k_spreader : float;
+  spreader_margin : float;
+}
+
+let default_params =
+  {
+    tim_thickness = 5e-5;
+    k_tim = 4.0;
+    spreader_thickness = 1e-3;
+    k_spreader = 400.0;
+    spreader_margin = 0.25;
+  }
+
+type t = {
+  package : Package.t;
+  n_blocks : int;
+  factored : Lu.t;
+  g_amb : float array;
+  sink : int;
+}
+
+(* Node layout: [0..n) die, [n..2n) tim, [2n..3n) spreader, 3n = sink. *)
+let build ?(package = Package.default) ?(params = default_params) placement =
+  let rects = placement.Placement.rects in
+  let n = Array.length rects in
+  if n = 0 then invalid_arg "Stack.build: empty floorplan";
+  let nodes = (3 * n) + 1 in
+  let sink = 3 * n in
+  let a = Matrix.create nodes nodes in
+  let connect i j g =
+    if g > 0.0 then begin
+      Matrix.add_to a i i g;
+      Matrix.add_to a j j g;
+      Matrix.add_to a i j (-.g);
+      Matrix.add_to a j i (-.g)
+    end
+  in
+  let die = Fun.id and tim i = n + i and spr i = (2 * n) + i in
+  let diag = Float.hypot placement.Placement.die_w placement.Placement.die_h in
+  (* Lateral conduction inside the die, and inside the spreader (where the
+     copper plate is modelled as enlarged block shadows: abutting blocks
+     couple over a wider section). *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let shared = Block.shared_boundary rects.(i) rects.(j) in
+      let dist = Block.center_distance rects.(i) rects.(j) in
+      connect (die i) (die j)
+        (Package.lateral_conductance package ~shared_len:shared ~distance:dist);
+      if dist > 0.0 then begin
+        let widened = shared +. (2.0 *. params.spreader_margin *. diag /. 4.0) in
+        let g_spr =
+          if shared > 0.0 then
+            params.k_spreader *. params.spreader_thickness *. widened /. dist
+          else 0.0
+        in
+        connect (spr i) (spr j) g_spr
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    let area = Block.rect_area rects.(i) in
+    (* die -> TIM -> spreader: pure slab conduction, half-thickness on each
+       side of the interface node. *)
+    let g_die_tim =
+      1.0
+      /. ((package.Package.die_thickness /. 2.0 /. (package.Package.k_die *. area))
+         +. (params.tim_thickness /. 2.0 /. (params.k_tim *. area)))
+    in
+    let g_tim_spr =
+      1.0
+      /. ((params.tim_thickness /. 2.0 /. (params.k_tim *. area))
+         +. (params.spreader_thickness /. 2.0 /. (params.k_spreader *. area)))
+    in
+    connect (die i) (tim i) g_die_tim;
+    connect (tim i) (spr i) g_tim_spr;
+    (* spreader -> sink: the lumped spreader-to-sink resistance shared in
+       proportion to block area. *)
+    let total_area =
+      Array.fold_left (fun acc r -> acc +. Block.rect_area r) 0.0 rects
+    in
+    let g_spr_sink =
+      area /. total_area /. package.Package.r_spreader_sink
+    in
+    connect (spr i) sink g_spr_sink
+  done;
+  let g_amb = Array.make nodes 0.0 in
+  g_amb.(sink) <- 1.0 /. package.Package.r_convection;
+  Matrix.add_to a sink sink g_amb.(sink);
+  { package; n_blocks = n; factored = Lu.factor a; g_amb; sink }
+
+let n_blocks t = t.n_blocks
+
+let solve t ~power =
+  if Array.length power <> t.n_blocks then
+    invalid_arg "Stack: power vector must have one entry per block";
+  Array.iter (fun p -> if p < 0.0 then invalid_arg "Stack: negative power") power;
+  let nodes = (3 * t.n_blocks) + 1 in
+  let rhs =
+    Array.init nodes (fun i ->
+        let inject = if i < t.n_blocks then power.(i) else 0.0 in
+        inject +. (t.g_amb.(i) *. t.package.Package.ambient))
+  in
+  Lu.solve_factored t.factored rhs
+
+let block_temperatures t ~power = Array.sub (solve t ~power) 0 t.n_blocks
+
+let layer_temperatures t ~power =
+  let temps = solve t ~power in
+  let n = t.n_blocks in
+  ( Array.sub temps 0 n,
+    Array.sub temps n n,
+    Array.sub temps (2 * n) n )
+
+let sink_temperature t ~power = (solve t ~power).(t.sink)

@@ -1,0 +1,39 @@
+(** Multi-layer package model: per-block die, TIM (thermal interface
+    material) and spreader nodes, lateral conduction inside the die and the
+    spreader layers, then a lumped sink with convection to ambient.
+
+    This is closer to HotSpot's full stack than the single-constriction
+    compact model in {!Rcmodel}; block-to-block coupling through the copper
+    spreader emerges from the physics instead of a calibrated coefficient.
+    Used as a cross-check and in the solver ablation; the scheduler keeps
+    the cheaper compact model. *)
+
+type params = {
+  tim_thickness : float;    (** m *)
+  k_tim : float;            (** W/(m K) *)
+  spreader_thickness : float;
+  k_spreader : float;
+  spreader_margin : float;
+      (** how far the spreader extends past each block edge, as a fraction
+          of the die diagonal (widens the lateral paths) *)
+}
+
+val default_params : params
+(** 50 um TIM at 4 W/(m K), 1 mm copper spreader. *)
+
+type t
+
+val build :
+  ?package:Package.t -> ?params:params -> Tats_floorplan.Placement.t -> t
+
+val n_blocks : t -> int
+
+val block_temperatures : t -> power:float array -> float array
+(** Steady-state die-layer block temperatures, °C. *)
+
+val layer_temperatures : t -> power:float array -> float array * float array * float array
+(** (die, tim, spreader) per-block node temperatures — the vertical gradient
+    through the stack. *)
+
+val sink_temperature : t -> power:float array -> float
+(** Must equal ambient + R_conv x total power (conservation; tested). *)

@@ -1,0 +1,52 @@
+module Lu = Tats_linalg.Lu
+
+type t = { model : Rcmodel.t; factored : Lu.t }
+
+let create model = { model; factored = Lu.factor (Rcmodel.system_matrix model) }
+
+let model t = t.model
+
+let solve t ~power =
+  Array.iter
+    (fun p -> if p < 0.0 then invalid_arg "Steady.solve: negative power")
+    power;
+  Lu.solve_factored t.factored (Rcmodel.rhs t.model ~power)
+
+let block_temperatures t ~power =
+  Array.sub (solve t ~power) 0 (Rcmodel.n_blocks t.model)
+
+(* The exponential leakage feedback can run away on very hot designs; real
+   silicon saturates (and throttles) first, so the temperature excursion in
+   the exponent is capped at 100 K above the reference. *)
+let max_leak_excursion = 100.0
+
+let solve_with_leakage ?(max_iter = 200) ?(tol = 1e-6) t ~dynamic ~idle =
+  let n = Rcmodel.n_blocks t.model in
+  if Array.length dynamic <> n || Array.length idle <> n then
+    invalid_arg "Steady.solve_with_leakage: bad vector length";
+  let pkg = Rcmodel.package t.model in
+  let beta = pkg.Package.leak_beta and t_ref = pkg.Package.leak_t_ref in
+  let leak temp base =
+    let excursion = Float.min (temp -. t_ref) max_leak_excursion in
+    base *. exp (beta *. excursion)
+  in
+  let temps = ref (block_temperatures t ~power:dynamic) in
+  let rec iterate k =
+    if k >= max_iter then
+      failwith "Steady.solve_with_leakage: leakage fixed point did not converge";
+    let power = Array.init n (fun i -> dynamic.(i) +. leak !temps.(i) idle.(i)) in
+    let next = block_temperatures t ~power in
+    (* Damping keeps the exponential feedback stable on hot designs; the
+       convergence test is on the damped (committed) step. *)
+    let delta = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let damped = (0.4 *. x) +. (0.6 *. !temps.(i)) in
+        delta := Float.max !delta (Float.abs (damped -. !temps.(i)));
+        next.(i) <- damped)
+      next;
+    temps := next;
+    if !delta <= tol then k + 1 else iterate (k + 1)
+  in
+  let iters = iterate 0 in
+  (!temps, iters)

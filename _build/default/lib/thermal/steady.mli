@@ -1,0 +1,33 @@
+(** Steady-state temperature extraction.
+
+    The network matrix is constant for a fixed floorplan, so it is factored
+    once and each power inquiry costs a single back-substitution — the
+    operation the thermal-aware scheduler performs for every candidate
+    (task, PE) pair. *)
+
+type t
+(** A factored steady-state solver for one RC model. *)
+
+val create : Rcmodel.t -> t
+
+val solve : t -> power:float array -> float array
+(** [solve t ~power] returns node temperatures (length [n_nodes]); the first
+    [n_blocks] entries are the block temperatures in °C. [power] is per
+    block, W, non-negative. *)
+
+val block_temperatures : t -> power:float array -> float array
+(** Just the block entries. *)
+
+val solve_with_leakage :
+  ?max_iter:int ->
+  ?tol:float ->
+  t ->
+  dynamic:float array ->
+  idle:float array ->
+  float array * int
+(** Fixed-point iteration coupling temperature and leakage:
+    [p_i = dynamic_i + idle_i * exp(beta * (T_i - T_ref))]. Returns block
+    temperatures and the iteration count. [max_iter] defaults to 50, [tol]
+    (max °C change) to 1e-6. Raises [Failure] on divergence. *)
+
+val model : t -> Rcmodel.t

@@ -1,0 +1,81 @@
+module Matrix = Tats_linalg.Matrix
+module Lu = Tats_linalg.Lu
+
+type trace = { times : float array; temps : float array array }
+
+let initial_ambient model =
+  Array.make (Rcmodel.n_nodes model) (Rcmodel.package model).Package.ambient
+
+let derivative model c_inv a temps rhs =
+  let flow = Matrix.mul_vec a temps in
+  Array.init (Rcmodel.n_nodes model) (fun i -> c_inv.(i) *. (rhs.(i) -. flow.(i)))
+
+let check_args model t0 dt steps =
+  if Array.length t0 <> Rcmodel.n_nodes model then
+    invalid_arg "Transient: t0 must cover all nodes";
+  if dt <= 0.0 || steps < 1 then invalid_arg "Transient: bad dt/steps"
+
+let rk4 model ~power ~t0 ~dt ~steps =
+  check_args model t0 dt steps;
+  let a = Rcmodel.system_matrix model in
+  let c_inv = Array.map (fun c -> 1.0 /. c) (Rcmodel.capacitances model) in
+  let n = Rcmodel.n_nodes model in
+  let times = Array.make (steps + 1) 0.0 in
+  let temps = Array.make (steps + 1) t0 in
+  temps.(0) <- Array.copy t0;
+  for k = 1 to steps do
+    let t_prev = times.(k - 1) and y = temps.(k - 1) in
+    let rhs_at time = Rcmodel.rhs model ~power:(power time) in
+    let f time y = derivative model c_inv a y (rhs_at time) in
+    let add y k scale = Array.init n (fun i -> y.(i) +. (scale *. k.(i))) in
+    let k1 = f t_prev y in
+    let k2 = f (t_prev +. (dt /. 2.0)) (add y k1 (dt /. 2.0)) in
+    let k3 = f (t_prev +. (dt /. 2.0)) (add y k2 (dt /. 2.0)) in
+    let k4 = f (t_prev +. dt) (add y k3 dt) in
+    temps.(k) <-
+      Array.init n (fun i ->
+          y.(i) +. (dt /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))));
+    times.(k) <- t_prev +. dt
+  done;
+  { times; temps }
+
+let backward_euler model ~power ~t0 ~dt ~steps =
+  check_args model t0 dt steps;
+  let a = Rcmodel.system_matrix model in
+  let c = Rcmodel.capacitances model in
+  let n = Rcmodel.n_nodes model in
+  (* (C/dt + A) T_{k+1} = C/dt T_k + rhs(t_{k+1}) *)
+  let lhs = Matrix.copy a in
+  for i = 0 to n - 1 do
+    Matrix.add_to lhs i i (c.(i) /. dt)
+  done;
+  let factored = Lu.factor lhs in
+  let times = Array.make (steps + 1) 0.0 in
+  let temps = Array.make (steps + 1) t0 in
+  temps.(0) <- Array.copy t0;
+  for k = 1 to steps do
+    let time = float_of_int k *. dt in
+    let rhs = Rcmodel.rhs model ~power:(power time) in
+    let b = Array.init n (fun i -> (c.(i) /. dt *. temps.(k - 1).(i)) +. rhs.(i)) in
+    temps.(k) <- Lu.solve_factored factored b;
+    times.(k) <- time
+  done;
+  { times; temps }
+
+let settle_time trace ~steady ~tol =
+  let within temps =
+    let ok = ref true in
+    Array.iteri (fun i t -> if Float.abs (t -. steady.(i)) > tol then ok := false) temps;
+    !ok
+  in
+  let n = Array.length trace.times in
+  (* Scan backwards for the earliest index from which everything stays
+     settled. *)
+  let rec scan k last_good =
+    if k < 0 then last_good
+    else if within trace.temps.(k) then scan (k - 1) (Some k)
+    else last_good
+  in
+  match scan (n - 1) None with
+  | Some k -> Some trace.times.(k)
+  | None -> None

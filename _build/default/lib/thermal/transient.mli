@@ -1,0 +1,33 @@
+(** Transient thermal simulation: [C dT/dt = -A T + rhs(t)].
+
+    Two integrators: explicit RK4 (accurate for small steps) and backward
+    Euler (unconditionally stable, one LU factorization per step size —
+    suited to the stiff block/package time-constant mix). *)
+
+type trace = { times : float array; temps : float array array }
+(** [temps.(k)] is the node temperature vector at [times.(k)]. *)
+
+val initial_ambient : Rcmodel.t -> float array
+(** All nodes at the package ambient. *)
+
+val rk4 :
+  Rcmodel.t ->
+  power:(float -> float array) ->
+  t0:float array ->
+  dt:float ->
+  steps:int ->
+  trace
+(** [power time] gives per-block power at [time]. *)
+
+val backward_euler :
+  Rcmodel.t ->
+  power:(float -> float array) ->
+  t0:float array ->
+  dt:float ->
+  steps:int ->
+  trace
+
+val settle_time :
+  trace -> steady:float array -> tol:float -> float option
+(** First time at which every node is within [tol] °C of [steady] and stays
+    there for the rest of the trace. *)

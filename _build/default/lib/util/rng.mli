@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the library (benchmark generation, the GA
+    floorplanner, technology-library synthesis) draws from an explicit [Rng.t]
+    so that experiments are reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a generator whose stream is a pure function of
+    [seed]. *)
+
+val copy : t -> t
+(** Independent copy sharing the current position. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    decorrelated from [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,50 @@
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  assert (Array.length a > 0);
+  sum a /. float_of_int (Array.length a)
+
+let min a =
+  assert (Array.length a > 0);
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  assert (Array.length a > 0);
+  Array.fold_left Float.max a.(0) a
+
+let stddev a =
+  let m = mean a in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (Array.length a)
+  in
+  sqrt var
+
+let spread a = max a -. min a
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median a = percentile a 50.0
+
+let argbest better a =
+  assert (Array.length a > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmax a = argbest ( > ) a
+let argmin a = argbest ( < ) a

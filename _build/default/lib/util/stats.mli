@@ -1,0 +1,20 @@
+(** Small statistics helpers over float arrays. *)
+
+val sum : float array -> float
+val mean : float array -> float
+(** Mean of a non-empty array. *)
+
+val min : float array -> float
+val max : float array -> float
+val stddev : float array -> float
+(** Population standard deviation of a non-empty array. *)
+
+val spread : float array -> float
+(** [max - min] of a non-empty array. *)
+
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val argmax : float array -> int
+val argmin : float array -> int

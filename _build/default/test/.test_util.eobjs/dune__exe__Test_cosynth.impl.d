@@ -1,0 +1,1 @@
+test/test_cosynth.ml: Alcotest Array List Tats_cosynth Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+test/test_dtm.ml: Alcotest Array Core Float List Printf Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array List QCheck QCheck_alcotest String Tats_cosynth Tats_floorplan Tats_linalg Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Fun List Printf QCheck QCheck_alcotest Stdlib String Sys Tats_floorplan Tats_taskgraph Tats_thermal Tats_util

@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array Float Printf QCheck QCheck_alcotest Tats_floorplan Tats_util

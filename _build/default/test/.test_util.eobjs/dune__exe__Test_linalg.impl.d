@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float List QCheck QCheck_alcotest Tats_linalg Tats_util

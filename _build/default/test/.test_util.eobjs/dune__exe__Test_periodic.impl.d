@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Array Core List Printf QCheck QCheck_alcotest Stdlib Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

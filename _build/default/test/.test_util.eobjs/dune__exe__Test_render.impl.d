@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Filename Fun In_channel List Printf String Sys Tats_floorplan Tats_render Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float List QCheck QCheck_alcotest Stdlib Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal Tats_util

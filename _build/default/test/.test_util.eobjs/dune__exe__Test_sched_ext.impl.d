@@ -1,0 +1,1 @@
+test/test_sched_ext.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Stdlib String Tats_floorplan Tats_sched Tats_taskgraph Tats_techlib Tats_thermal

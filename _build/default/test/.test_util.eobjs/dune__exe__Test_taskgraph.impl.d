@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array List QCheck QCheck_alcotest Stdlib String Tats_taskgraph

@@ -1,0 +1,1 @@
+test/test_techlib.ml: Alcotest Array List Printf QCheck QCheck_alcotest Tats_taskgraph Tats_techlib

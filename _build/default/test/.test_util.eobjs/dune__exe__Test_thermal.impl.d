@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Float Printf Tats_floorplan Tats_linalg Tats_thermal Tats_util

@@ -1,0 +1,264 @@
+(* Tests for the DTM simulator, task-graph analysis, the floorplan study,
+   and idle-energy/power-gating metrics. *)
+
+module Graph = Tats_taskgraph.Graph
+module Benchmarks = Tats_taskgraph.Benchmarks
+module Analysis = Tats_taskgraph.Analysis
+module Pe = Tats_techlib.Pe
+module Catalog = Tats_techlib.Catalog
+module Block = Tats_floorplan.Block
+module Grid = Tats_floorplan.Grid
+module Hotspot = Tats_thermal.Hotspot
+module Policy = Tats_sched.Policy
+module Schedule = Tats_sched.Schedule
+module List_sched = Tats_sched.List_sched
+module Dtm = Tats_sched.Dtm
+module Metrics = Tats_sched.Metrics
+
+let platform_lib = Catalog.platform_library ()
+let platform_pes n = Catalog.platform_instances n
+
+let platform_hotspot n =
+  Hotspot.create
+    (Grid.layout
+       (Array.map
+          (fun (i : Pe.inst) ->
+            Block.make ~name:(string_of_int i.Pe.inst_id) ~area:i.Pe.kind.Pe.area ())
+          (platform_pes n)))
+
+let baseline_schedule bench =
+  let graph = Benchmarks.load bench in
+  List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+    ~policy:Policy.Baseline ()
+
+(* --- Dtm ------------------------------------------------------------------ *)
+
+let no_throttle_params =
+  { Dtm.default_params with Dtm.trigger = 1000.0 }
+
+let test_dtm_no_trigger_reproduces_schedule () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let r = Dtm.simulate ~params:no_throttle_params ~lib:platform_lib ~hotspot s in
+  (* Without throttling the simulator replays the schedule. Each task's
+     finish rounds up to a dt boundary and the rounding accumulates along
+     dependency chains, so the drift bound scales with the graph depth. *)
+  let slack =
+    float_of_int (Graph.longest_path_hops s.Schedule.graph + 1)
+    *. Dtm.default_params.Dtm.dt
+  in
+  Array.iteri
+    (fun task f ->
+      let static = s.Schedule.entries.(task).Schedule.finish in
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d: %.1f vs %.1f" task f static)
+        true
+        (Float.abs (f -. static) <= slack +. 1e-6))
+    r.Dtm.finish;
+  Alcotest.(check (float 1e-9)) "no throttling" 0.0 r.Dtm.throttled_fraction
+
+let test_dtm_low_trigger_throttles_and_lengthens () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let free = Dtm.simulate ~params:no_throttle_params ~lib:platform_lib ~hotspot s in
+  let hot_params = { Dtm.default_params with Dtm.trigger = 60.0; hysteresis = 2.0 } in
+  let managed = Dtm.simulate ~params:hot_params ~lib:platform_lib ~hotspot s in
+  Alcotest.(check bool) "throttling happened" true (managed.Dtm.throttled_fraction > 0.0);
+  Alcotest.(check bool) "makespan grows" true (managed.Dtm.makespan > free.Dtm.makespan);
+  (* Throttling caps the excursion relative to the unmanaged run. *)
+  Alcotest.(check bool) "peak reduced" true
+    (managed.Dtm.peak_temperature < free.Dtm.peak_temperature)
+
+let test_dtm_thermal_schedule_throttles_less () =
+  (* The thermal-aware schedule runs cooler, so the same DTM trigger
+     throttles it less than the baseline — the design-time/run-time story. *)
+  let graph = Benchmarks.load 0 in
+  let hotspot = platform_hotspot 4 in
+  let pes = platform_pes 4 in
+  let baseline = List_sched.run ~graph ~lib:platform_lib ~pes ~policy:Policy.Baseline () in
+  let thermal, _ =
+    List_sched.run_adaptive ~hotspot ~graph ~lib:platform_lib ~pes
+      ~policy:Policy.Thermal_aware ()
+  in
+  let params = { Dtm.default_params with Dtm.trigger = 75.0 } in
+  let r_base = Dtm.simulate ~params ~lib:platform_lib ~hotspot baseline in
+  let r_thermal = Dtm.simulate ~params ~lib:platform_lib ~hotspot thermal in
+  Alcotest.(check bool)
+    (Printf.sprintf "thermal %.3f <= baseline %.3f" r_thermal.Dtm.throttled_fraction
+       r_base.Dtm.throttled_fraction)
+    true
+    (r_thermal.Dtm.throttled_fraction <= r_base.Dtm.throttled_fraction +. 1e-9)
+
+let test_dtm_validation () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let bad params =
+    try ignore (Dtm.simulate ~params ~lib:platform_lib ~hotspot s : Dtm.result); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad factor" true
+    (bad { Dtm.default_params with Dtm.throttle_factor = 1.5 });
+  Alcotest.(check bool) "bad dt" true (bad { Dtm.default_params with Dtm.dt = 0.0 });
+  Alcotest.(check bool) "wrong hotspot" true
+    (try
+       ignore
+         (Dtm.simulate ~lib:platform_lib ~hotspot:(platform_hotspot 2) s : Dtm.result);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dtm_warmup_passes_raise_peak () =
+  (* One cold pass never reaches steady temperature; repeated passes warm
+     the package and the peak rises toward (and beyond) the steady value. *)
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let run passes =
+    Dtm.simulate
+      ~params:{ no_throttle_params with Dtm.passes }
+      ~lib:platform_lib ~hotspot s
+  in
+  let cold = run 1 and warm = run 150 in
+  Alcotest.(check bool) "warm peak higher" true
+    (warm.Dtm.peak_temperature > cold.Dtm.peak_temperature +. 5.0);
+  (* Warmed up, the transient peak rides above the steady-state estimate. *)
+  let steady =
+    (Metrics.thermal_report ~leakage:false s ~hotspot).Metrics.max_temp
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %.1f vs steady %.1f" warm.Dtm.peak_temperature steady)
+    true
+    (warm.Dtm.peak_temperature > steady -. 2.0)
+
+let test_dtm_deterministic () =
+  let s = baseline_schedule 1 in
+  let hotspot = platform_hotspot 4 in
+  let params = { Dtm.default_params with Dtm.trigger = 70.0 } in
+  let a = Dtm.simulate ~params ~lib:platform_lib ~hotspot s in
+  let b = Dtm.simulate ~params ~lib:platform_lib ~hotspot s in
+  Alcotest.(check (float 0.0)) "same makespan" a.Dtm.makespan b.Dtm.makespan;
+  Alcotest.(check (float 0.0)) "same peak" a.Dtm.peak_temperature b.Dtm.peak_temperature
+
+(* --- Analysis -------------------------------------------------------------- *)
+
+let diamond () =
+  let b = Graph.builder ~name:"d" ~deadline:10.0 in
+  let t0 = Graph.add_task b ~task_type:0 () in
+  let t1 = Graph.add_task b ~task_type:0 () in
+  let t2 = Graph.add_task b ~task_type:0 () in
+  let t3 = Graph.add_task b ~task_type:0 () in
+  Graph.add_edge b t0 t1;
+  Graph.add_edge b t0 t2;
+  Graph.add_edge b t1 t3;
+  Graph.add_edge b t2 t3;
+  Graph.build b
+
+let test_analysis_diamond () =
+  let a = Analysis.analyze (diamond ()) in
+  Alcotest.(check int) "depth" 3 a.Analysis.depth;
+  Alcotest.(check int) "width" 2 a.Analysis.width;
+  Alcotest.(check (array int)) "levels" [| 1; 2; 1 |] a.Analysis.level_sizes;
+  Alcotest.(check int) "sources" 1 a.Analysis.n_sources;
+  Alcotest.(check int) "sinks" 1 a.Analysis.n_sinks;
+  Alcotest.(check int) "max out" 2 a.Analysis.max_out_degree;
+  Alcotest.(check int) "max in" 2 a.Analysis.max_in_degree;
+  Alcotest.(check (float 1e-9)) "parallelism" (4.0 /. 3.0) a.Analysis.avg_parallelism
+
+let test_analysis_levels_respect_edges () =
+  let g = Benchmarks.load 1 in
+  let level = Analysis.levels g in
+  List.iter
+    (fun { Graph.src; dst; _ } ->
+      Alcotest.(check bool) "level increases along edges" true (level.(dst) > level.(src)))
+    (Graph.edges g)
+
+let test_analysis_consistency_on_benchmarks () =
+  Array.iteri
+    (fun i _ ->
+      let g = Benchmarks.load i in
+      let a = Analysis.analyze g in
+      Alcotest.(check int) "level sizes sum to tasks" a.Analysis.n_tasks
+        (Array.fold_left ( + ) 0 a.Analysis.level_sizes);
+      Alcotest.(check int) "depth matches graph" (Graph.longest_path_hops g)
+        a.Analysis.depth;
+      Alcotest.(check bool) "density in range" true
+        (a.Analysis.edge_density > 0.0 && a.Analysis.edge_density <= 1.0))
+    Benchmarks.descriptors
+
+(* --- Floorplan study -------------------------------------------------------- *)
+
+let test_floorplan_study_thermal_cooler_on_average () =
+  let rows = Core.Experiments.floorplan_study () in
+  Alcotest.(check int) "four seeds" 4 (List.length rows);
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int (List.length rows)
+  in
+  let d =
+    mean (fun (r : Core.Experiments.floorplan_study_row) ->
+        r.Core.Experiments.area_only_peak -. r.Core.Experiments.thermal_aware_peak)
+  in
+  Alcotest.(check bool) (Printf.sprintf "mean reduction %.2f °C" d) true (d > 0.0);
+  List.iter
+    (fun (r : Core.Experiments.floorplan_study_row) ->
+      Alcotest.(check bool) "bounded overhead" true
+        (r.Core.Experiments.area_overhead < 1.6))
+    rows
+
+(* --- Idle energy / power gating ---------------------------------------------- *)
+
+let test_idle_energy_accounting () =
+  let s = baseline_schedule 0 in
+  let idle = Metrics.idle_energy s in
+  (* Four PEs at 0.6 W idle for (makespan - busy) each. *)
+  let utils = Metrics.utilizations s in
+  let expect =
+    Array.fold_left
+      (fun acc u -> acc +. (0.6 *. ((1.0 -. u) *. s.Schedule.makespan)))
+      0.0 utils
+  in
+  Alcotest.(check bool) "matches utilization view" true (Float.abs (idle -. expect) < 1e-6)
+
+let test_power_gating_monotone_in_break_even () =
+  let s = baseline_schedule 0 in
+  let s0 = Metrics.power_gating_saving s ~break_even:0.0 in
+  let s50 = Metrics.power_gating_saving s ~break_even:50.0 in
+  let s_inf = Metrics.power_gating_saving s ~break_even:1e12 in
+  Alcotest.(check bool) "monotone" true (s0 >= s50 && s50 >= s_inf);
+  Alcotest.(check (float 1e-9)) "nothing gated at infinity" 0.0 s_inf;
+  (* With break-even 0 every idle moment is gated. *)
+  Alcotest.(check bool) "full gating = idle energy" true
+    (Float.abs (s0 -. Metrics.idle_energy s) < 1e-6)
+
+let () =
+  Alcotest.run "dtm_analysis"
+    [
+      ( "dtm",
+        [
+          Alcotest.test_case "no trigger = schedule" `Quick
+            test_dtm_no_trigger_reproduces_schedule;
+          Alcotest.test_case "low trigger throttles" `Quick
+            test_dtm_low_trigger_throttles_and_lengthens;
+          Alcotest.test_case "thermal schedule throttles less" `Quick
+            test_dtm_thermal_schedule_throttles_less;
+          Alcotest.test_case "validation" `Quick test_dtm_validation;
+          Alcotest.test_case "deterministic" `Quick test_dtm_deterministic;
+          Alcotest.test_case "warm-up passes" `Quick test_dtm_warmup_passes_raise_peak;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "diamond" `Quick test_analysis_diamond;
+          Alcotest.test_case "levels respect edges" `Quick
+            test_analysis_levels_respect_edges;
+          Alcotest.test_case "benchmark consistency" `Quick
+            test_analysis_consistency_on_benchmarks;
+        ] );
+      ( "floorplan_study",
+        [
+          Alcotest.test_case "thermal cooler" `Quick
+            test_floorplan_study_thermal_cooler_on_average;
+        ] );
+      ( "power_gating",
+        [
+          Alcotest.test_case "idle energy" `Quick test_idle_energy_accounting;
+          Alcotest.test_case "gating monotone" `Quick
+            test_power_gating_monotone_in_break_even;
+        ] );
+    ]

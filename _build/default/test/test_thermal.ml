@@ -1,0 +1,359 @@
+(* Tests for Tats_thermal: the compact RC model, steady-state solver,
+   leakage fixed point, transient integrators, grid model, HotSpot facade.
+
+   Several tests exploit exact conservation laws of the network: in steady
+   state all injected power leaves through the convection resistance, so
+   T_sink = T_amb + R_conv * P_total regardless of the floorplan. *)
+
+module Block = Tats_floorplan.Block
+module Placement = Tats_floorplan.Placement
+module Grid = Tats_floorplan.Grid
+module Package = Tats_thermal.Package
+module Rcmodel = Tats_thermal.Rcmodel
+module Steady = Tats_thermal.Steady
+module Transient = Tats_thermal.Transient
+module Gridmodel = Tats_thermal.Gridmodel
+module Hotspot = Tats_thermal.Hotspot
+module Matrix = Tats_linalg.Matrix
+module Stats = Tats_util.Stats
+
+let pkg = Package.default
+
+let platform_placement n =
+  Grid.layout
+    (Array.init n (fun i ->
+         Block.make ~name:(Printf.sprintf "pe%d" i) ~area:1.6e-5 ()))
+
+let single_block_placement () =
+  Placement.make
+    ~blocks:[| Block.make ~name:"b" ~area:1.6e-5 () |]
+    ~rects:[| { Block.x = 0.0; y = 0.0; w = 4e-3; h = 4e-3 } |]
+
+(* --- Package ------------------------------------------------------------ *)
+
+let test_vertical_resistance_decreases_with_area () =
+  let r_small = Package.block_vertical_resistance pkg ~area:1e-6 in
+  let r_big = Package.block_vertical_resistance pkg ~area:1e-4 in
+  Alcotest.(check bool) "bigger blocks conduct better" true (r_big < r_small)
+
+let test_lateral_conductance () =
+  Alcotest.(check (float 1e-12)) "no contact" 0.0
+    (Package.lateral_conductance pkg ~shared_len:0.0 ~distance:1e-3);
+  let g = Package.lateral_conductance pkg ~shared_len:4e-3 ~distance:4e-3 in
+  Alcotest.(check (float 1e-9)) "k*t*L/d" (pkg.Package.k_die *. pkg.Package.die_thickness) g
+
+(* --- Rcmodel ------------------------------------------------------------ *)
+
+let test_model_shape () =
+  let m = Rcmodel.build pkg (platform_placement 4) in
+  Alcotest.(check int) "blocks" 4 (Rcmodel.n_blocks m);
+  Alcotest.(check int) "nodes" 6 (Rcmodel.n_nodes m);
+  Alcotest.(check int) "spreader" 4 (Rcmodel.spreader_node m);
+  Alcotest.(check int) "sink" 5 (Rcmodel.sink_node m)
+
+let test_system_matrix_symmetric () =
+  let m = Rcmodel.build pkg (platform_placement 4) in
+  let a = Rcmodel.system_matrix m in
+  Alcotest.(check (float 1e-12)) "symmetric" 0.0 (Matrix.max_abs_diff a (Matrix.transpose a))
+
+let test_lateral_only_between_neighbours () =
+  (* On a 2x2 grid, blocks 0 and 3 touch only at a corner. *)
+  let m = Rcmodel.build pkg (platform_placement 4) in
+  Alcotest.(check bool) "0-1 coupled" true (Rcmodel.lateral_conductance_between m 0 1 > 0.0);
+  Alcotest.(check bool) "0-2 coupled" true (Rcmodel.lateral_conductance_between m 0 2 > 0.0);
+  Alcotest.(check (float 1e-15)) "0-3 diagonal uncoupled" 0.0
+    (Rcmodel.lateral_conductance_between m 0 3)
+
+let test_capacitances_positive () =
+  let m = Rcmodel.build pkg (platform_placement 4) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "positive C" true (c > 0.0))
+    (Rcmodel.capacitances m)
+
+let test_rhs_validation () =
+  let m = Rcmodel.build pkg (platform_placement 4) in
+  Alcotest.(check bool) "wrong length" true
+    (try ignore (Rcmodel.rhs m ~power:[| 1.0 |] : float array); false
+     with Invalid_argument _ -> true)
+
+(* --- Steady ------------------------------------------------------------- *)
+
+let test_zero_power_is_ambient () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let temps = Steady.solve s ~power:(Array.make 4 0.0) in
+  Array.iter
+    (fun t -> Alcotest.(check (float 1e-6)) "ambient everywhere" pkg.Package.ambient t)
+    temps
+
+let test_energy_conservation_at_sink () =
+  (* All heat exits through R_conv: T_sink - T_amb = R_conv * P_total. *)
+  let model = Rcmodel.build pkg (platform_placement 4) in
+  let s = Steady.create model in
+  let power = [| 3.0; 1.0; 2.0; 4.0 |] in
+  let temps = Steady.solve s ~power in
+  let t_sink = temps.(Rcmodel.sink_node model) in
+  Alcotest.(check (float 1e-6)) "sink temperature"
+    (pkg.Package.ambient +. (pkg.Package.r_convection *. 10.0))
+    t_sink
+
+let test_single_block_analytic () =
+  (* One block: T = amb + (R_conv + R_sp_sink + R_v) * P exactly. *)
+  let placement = single_block_placement () in
+  let model = Rcmodel.build pkg placement in
+  let s = Steady.create model in
+  let area = Block.rect_area placement.Placement.rects.(0) in
+  let r_total =
+    pkg.Package.r_convection +. pkg.Package.r_spreader_sink
+    +. Package.block_vertical_resistance pkg ~area
+  in
+  let temps = Steady.block_temperatures s ~power:[| 5.0 |] in
+  Alcotest.(check (float 1e-6)) "analytic" (pkg.Package.ambient +. (5.0 *. r_total)) temps.(0)
+
+let test_linearity_superposition () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let p1 = [| 2.0; 0.0; 0.0; 0.0 |] and p2 = [| 0.0; 0.0; 3.0; 0.0 |] in
+  let both = Array.init 4 (fun i -> p1.(i) +. p2.(i)) in
+  let t1 = Steady.block_temperatures s ~power:p1 in
+  let t2 = Steady.block_temperatures s ~power:p2 in
+  let t12 = Steady.block_temperatures s ~power:both in
+  for i = 0 to 3 do
+    (* Superposition holds after subtracting the ambient offset. *)
+    Alcotest.(check (float 1e-6)) "superposition"
+      (t1.(i) +. t2.(i) -. pkg.Package.ambient)
+      t12.(i)
+  done
+
+let test_heated_block_is_hottest () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let temps = Steady.block_temperatures s ~power:[| 0.0; 8.0; 0.0; 0.0 |] in
+  Alcotest.(check int) "hottest is the heated one" 1 (Stats.argmax temps)
+
+let test_neighbour_warmer_than_ambient () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let temps = Steady.block_temperatures s ~power:[| 0.0; 8.0; 0.0; 0.0 |] in
+  Array.iter
+    (fun t -> Alcotest.(check bool) "coupling heats everyone" true (t > pkg.Package.ambient))
+    temps
+
+let test_monotone_in_power () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let t_low = Steady.block_temperatures s ~power:(Array.make 4 2.0) in
+  let t_high = Steady.block_temperatures s ~power:(Array.make 4 4.0) in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "more power, hotter" true (t_high.(i) > t_low.(i))
+  done
+
+let test_negative_power_rejected () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 2)) in
+  Alcotest.(check bool) "negative rejected" true
+    (try ignore (Steady.solve s ~power:[| -1.0; 0.0 |] : float array); false
+     with Invalid_argument _ -> true)
+
+let test_leakage_raises_temperature () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let dynamic = Array.make 4 3.0 in
+  let no_leak = Steady.block_temperatures s ~power:dynamic in
+  let with_leak, iters =
+    Steady.solve_with_leakage s ~dynamic ~idle:(Array.make 4 0.5)
+  in
+  Alcotest.(check bool) "converged" true (iters > 0);
+  for i = 0 to 3 do
+    Alcotest.(check bool) "leakage adds heat" true (with_leak.(i) > no_leak.(i))
+  done
+
+let test_leakage_zero_idle_matches_linear () =
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let dynamic = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let linear = Steady.block_temperatures s ~power:dynamic in
+  let with_leak, _ = Steady.solve_with_leakage s ~dynamic ~idle:(Array.make 4 0.0) in
+  for i = 0 to 3 do
+    Alcotest.(check (float 1e-4)) "no idle, no feedback" linear.(i) with_leak.(i)
+  done
+
+let test_leakage_hot_design_converges () =
+  (* The exponential is clamped; even absurd power must converge. *)
+  let s = Steady.create (Rcmodel.build pkg (platform_placement 4)) in
+  let temps, _ = Steady.solve_with_leakage s ~dynamic:(Array.make 4 20.0) ~idle:(Array.make 4 1.0) in
+  Array.iter (fun t -> Alcotest.(check bool) "finite" true (Float.is_finite t)) temps
+
+(* --- Transient ---------------------------------------------------------- *)
+
+let test_transient_converges_to_steady () =
+  let model = Rcmodel.build pkg (platform_placement 4) in
+  let s = Steady.create model in
+  let power _ = [| 2.0; 4.0; 1.0; 3.0 |] in
+  let steady = Steady.solve s ~power:(power 0.0) in
+  let t0 = Transient.initial_ambient model in
+  (* The sink time constant is ~70 s, so simulate several of them. *)
+  let trace = Transient.backward_euler model ~power ~t0 ~dt:1.0 ~steps:600 in
+  let final = trace.Transient.temps.(600) in
+  Array.iteri
+    (fun i t -> Alcotest.(check bool) "near steady" true (Float.abs (t -. steady.(i)) < 0.5))
+    final
+
+let test_rk4_matches_backward_euler () =
+  let model = Rcmodel.build pkg (platform_placement 2) in
+  let power _ = [| 3.0; 1.0 |] in
+  let t0 = Transient.initial_ambient model in
+  (* Small dt keeps the explicit integrator stable (block tau ~ 70 ms). *)
+  let rk = Transient.rk4 model ~power ~t0 ~dt:0.002 ~steps:500 in
+  let be = Transient.backward_euler model ~power ~t0 ~dt:0.002 ~steps:500 in
+  let last a = a.Transient.temps.(500) in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool) "integrators agree" true (Float.abs (t -. (last be).(i)) < 0.1))
+    (last rk)
+
+let test_transient_monotone_heating () =
+  let model = Rcmodel.build pkg (platform_placement 2) in
+  let power _ = [| 5.0; 5.0 |] in
+  let t0 = Transient.initial_ambient model in
+  let trace = Transient.backward_euler model ~power ~t0 ~dt:0.1 ~steps:100 in
+  let ok = ref true in
+  for k = 1 to 100 do
+    if trace.Transient.temps.(k).(0) < trace.Transient.temps.(k - 1).(0) -. 1e-9 then
+      ok := false
+  done;
+  Alcotest.(check bool) "monotone step response" true !ok
+
+let test_settle_time () =
+  let model = Rcmodel.build pkg (platform_placement 2) in
+  let s = Steady.create model in
+  let power _ = [| 2.0; 2.0 |] in
+  let steady = Steady.solve s ~power:(power 0.0) in
+  let t0 = Transient.initial_ambient model in
+  let trace = Transient.backward_euler model ~power ~t0 ~dt:0.5 ~steps:400 in
+  match Transient.settle_time trace ~steady ~tol:1.0 with
+  | Some t ->
+      Alcotest.(check bool) "settles strictly after start" true (t > 0.0);
+      Alcotest.(check bool) "settles before the end" true (t < 200.0)
+  | None -> Alcotest.fail "never settled"
+
+let test_transient_validation () =
+  let model = Rcmodel.build pkg (platform_placement 2) in
+  Alcotest.(check bool) "bad dt" true
+    (try
+       ignore
+         (Transient.backward_euler model ~power:(fun _ -> [| 0.0; 0.0 |])
+            ~t0:(Transient.initial_ambient model) ~dt:0.0 ~steps:1
+          : Transient.trace);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Gridmodel ---------------------------------------------------------- *)
+
+let test_grid_close_to_compact () =
+  (* Same physics at a finer discretization: block temperatures should agree
+     with the compact model within a few degrees. *)
+  let placement = platform_placement 4 in
+  let compact = Steady.create (Rcmodel.build pkg placement) in
+  let grid = Gridmodel.build ~nx:16 ~ny:16 pkg placement in
+  let power = [| 2.0; 6.0; 1.0; 3.0 |] in
+  let t_compact = Steady.block_temperatures compact ~power in
+  let t_grid = Gridmodel.block_temperatures grid ~power in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "block %d within 5C (%.2f vs %.2f)" i t_compact.(i) t_grid.(i))
+      true
+      (Float.abs (t_compact.(i) -. t_grid.(i)) < 5.0)
+  done
+
+let test_grid_hotspot_location () =
+  let placement = platform_placement 4 in
+  let grid = Gridmodel.build ~nx:8 ~ny:8 pkg placement in
+  let t = Gridmodel.block_temperatures grid ~power:[| 0.0; 9.0; 0.0; 0.0 |] in
+  Alcotest.(check int) "hottest block" 1 (Stats.argmax t)
+
+let test_grid_peak_above_block_mean () =
+  let placement = platform_placement 4 in
+  let grid = Gridmodel.build ~nx:8 ~ny:8 pkg placement in
+  let power = [| 1.0; 6.0; 2.0; 1.0 |] in
+  let peak = Gridmodel.max_cell_temperature grid ~power in
+  let blocks = Gridmodel.block_temperatures grid ~power in
+  Alcotest.(check bool) "peak >= any block mean" true (peak >= Stats.max blocks -. 1e-9)
+
+let test_grid_cell_matrix_shape () =
+  let placement = platform_placement 4 in
+  let grid = Gridmodel.build ~nx:6 ~ny:4 pkg placement in
+  Alcotest.(check int) "cells" 24 (Gridmodel.n_cells grid);
+  let cells = Gridmodel.cell_temperatures grid ~power:(Array.make 4 1.0) in
+  Alcotest.(check int) "rows" 4 (Array.length cells);
+  Alcotest.(check int) "cols" 6 (Array.length cells.(0))
+
+(* --- Hotspot facade ----------------------------------------------------- *)
+
+let test_hotspot_counts_inquiries () =
+  let h = Hotspot.create (platform_placement 4) in
+  Alcotest.(check int) "fresh" 0 (Hotspot.inquiries h);
+  ignore (Hotspot.query h ~power:(Array.make 4 1.0) : float array);
+  ignore (Hotspot.average_temperature h ~power:(Array.make 4 1.0) : float);
+  Alcotest.(check int) "counted" 2 (Hotspot.inquiries h)
+
+let test_hotspot_avg_peak_consistent () =
+  let h = Hotspot.create (platform_placement 4) in
+  let power = [| 1.0; 5.0; 2.0; 2.0 |] in
+  let temps = Hotspot.query h ~power in
+  Alcotest.(check (float 1e-9)) "avg" (Stats.mean temps)
+    (Hotspot.average_temperature h ~power);
+  Alcotest.(check (float 1e-9)) "peak" (Stats.max temps) (Hotspot.peak_temperature h ~power)
+
+let () =
+  Alcotest.run "tats_thermal"
+    [
+      ( "package",
+        [
+          Alcotest.test_case "vertical R vs area" `Quick
+            test_vertical_resistance_decreases_with_area;
+          Alcotest.test_case "lateral conductance" `Quick test_lateral_conductance;
+        ] );
+      ( "rcmodel",
+        [
+          Alcotest.test_case "shape" `Quick test_model_shape;
+          Alcotest.test_case "symmetric" `Quick test_system_matrix_symmetric;
+          Alcotest.test_case "neighbour coupling" `Quick
+            test_lateral_only_between_neighbours;
+          Alcotest.test_case "capacitances" `Quick test_capacitances_positive;
+          Alcotest.test_case "rhs validation" `Quick test_rhs_validation;
+        ] );
+      ( "steady",
+        [
+          Alcotest.test_case "zero power" `Quick test_zero_power_is_ambient;
+          Alcotest.test_case "conservation at sink" `Quick
+            test_energy_conservation_at_sink;
+          Alcotest.test_case "single block analytic" `Quick test_single_block_analytic;
+          Alcotest.test_case "superposition" `Quick test_linearity_superposition;
+          Alcotest.test_case "hottest block" `Quick test_heated_block_is_hottest;
+          Alcotest.test_case "coupling" `Quick test_neighbour_warmer_than_ambient;
+          Alcotest.test_case "monotone in power" `Quick test_monotone_in_power;
+          Alcotest.test_case "negative power" `Quick test_negative_power_rejected;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "raises temperature" `Quick test_leakage_raises_temperature;
+          Alcotest.test_case "zero idle = linear" `Quick
+            test_leakage_zero_idle_matches_linear;
+          Alcotest.test_case "hot design converges" `Quick
+            test_leakage_hot_design_converges;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "converges to steady" `Quick
+            test_transient_converges_to_steady;
+          Alcotest.test_case "rk4 vs backward euler" `Quick test_rk4_matches_backward_euler;
+          Alcotest.test_case "monotone heating" `Quick test_transient_monotone_heating;
+          Alcotest.test_case "settle time" `Quick test_settle_time;
+          Alcotest.test_case "validation" `Quick test_transient_validation;
+        ] );
+      ( "gridmodel",
+        [
+          Alcotest.test_case "close to compact" `Quick test_grid_close_to_compact;
+          Alcotest.test_case "hotspot location" `Quick test_grid_hotspot_location;
+          Alcotest.test_case "peak above mean" `Quick test_grid_peak_above_block_mean;
+          Alcotest.test_case "cell matrix shape" `Quick test_grid_cell_matrix_shape;
+        ] );
+      ( "hotspot",
+        [
+          Alcotest.test_case "inquiry counter" `Quick test_hotspot_counts_inquiries;
+          Alcotest.test_case "avg/peak consistent" `Quick test_hotspot_avg_peak_consistent;
+        ] );
+    ]
