@@ -24,13 +24,66 @@ let hr title =
 (* 1. Table and figure regeneration                                         *)
 (* ----------------------------------------------------------------------- *)
 
+(* Inquiry-engine accounting for the table regeneration, printed as a
+   human-readable summary and dumped as BENCH_inquiry.json for machine
+   consumers (CI trend lines). [factored_solves] is what the engines
+   actually paid (n_blocks per engine build); [dense_solves] is what the
+   pre-engine path would have paid (one factored solve per fixed-point
+   iteration plus the initial solve of every inquiry). *)
+let inquiry_summary ~elapsed =
+  let s = Core.Inquiry.global_stats () in
+  let ratio x y = if y = 0 then 0.0 else float_of_int x /. float_of_int y in
+  let hit_rate = ratio s.Core.Inquiry.cache_hits s.Core.Inquiry.inquiries in
+  let reduction =
+    ratio s.Core.Inquiry.dense_solves s.Core.Inquiry.factored_solves
+  in
+  let per_sec =
+    if elapsed <= 0.0 then 0.0
+    else float_of_int s.Core.Inquiry.inquiries /. elapsed
+  in
+  Printf.printf
+    "\ninquiry engine: %d inquiries (%.0f/s), %d cache hits (%.1f%%), %d \
+     fixed-point iterations\n"
+    s.Core.Inquiry.inquiries per_sec s.Core.Inquiry.cache_hits
+    (100.0 *. hit_rate) s.Core.Inquiry.fp_iterations;
+  Printf.printf
+    "factored solves: %d vs %d dense-path equivalents -> %.1fx fewer (%s >= \
+     5x target)\n"
+    s.Core.Inquiry.factored_solves s.Core.Inquiry.dense_solves reduction
+    (if reduction >= 5.0 then "PASS" else "FAIL");
+  let oc = open_out "BENCH_inquiry.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"inquiries\": %d,\n\
+        \  \"inquiries_per_sec\": %.1f,\n\
+        \  \"cache_hits\": %d,\n\
+        \  \"cache_hit_rate\": %.4f,\n\
+        \  \"fp_iterations\": %d,\n\
+        \  \"delta_evals\": %d,\n\
+        \  \"factored_solves\": %d,\n\
+        \  \"dense_solves\": %d,\n\
+        \  \"solve_reduction\": %.2f,\n\
+        \  \"engine_wall_s\": %.3f,\n\
+        \  \"tables_wall_s\": %.3f\n\
+         }\n"
+        s.Core.Inquiry.inquiries per_sec s.Core.Inquiry.cache_hits hit_rate
+        s.Core.Inquiry.fp_iterations s.Core.Inquiry.delta_evals
+        s.Core.Inquiry.factored_solves s.Core.Inquiry.dense_solves reduction
+        s.Core.Inquiry.wall_time elapsed);
+  Printf.printf "wrote BENCH_inquiry.json\n"
+
 let regenerate_tables () =
   hr "Tables 1-3 (paper vs measured)";
+  Core.Inquiry.reset_global_stats ();
   let t0 = Unix.gettimeofday () in
   let table1 = Core.Experiments.table1 () in
   let table2 = Core.Experiments.table2 () in
   let table3 = Core.Experiments.table3 () in
-  Printf.printf "all tables regenerated in %.1f s\n\n" (Unix.gettimeofday () -. t0);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "all tables regenerated in %.1f s\n\n" elapsed;
   print_string (Core.Report.table1 table1);
   print_newline ();
   print_string (Core.Report.table2 table2);
@@ -40,6 +93,7 @@ let regenerate_tables () =
   print_string
     (Core.Report.shape_checks
        (Core.Experiments.shape_checks ~table1 ~table2 ~table3));
+  inquiry_summary ~elapsed;
   (table1, table2, table3)
 
 let figure1_flows () =

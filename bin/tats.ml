@@ -91,7 +91,7 @@ let checks_cmd =
 (* --- schedule ----------------------------------------------------------- *)
 
 let schedule_cmd =
-  let run bench policy arch gantt svg floorplan_svg =
+  let run bench policy arch gantt stats svg floorplan_svg =
     let bench = or_die (parse_bench bench) in
     let policy = or_die (parse_policy policy) in
     let graph = Core.Benchmarks.load bench in
@@ -115,6 +115,9 @@ let schedule_cmd =
       (fun pe t -> Format.printf "PE%d: %.2f W -> %.2f °C@." pe
           report.Core.Metrics.pe_powers.(pe) t)
       report.Core.Metrics.block_temps;
+    if stats then
+      Format.printf "inquiry engine: %a@." Core.Inquiry.pp_stats
+        outcome.Core.Flow.inquiry;
     if gantt then Format.printf "%a@." Core.Schedule.pp outcome.Core.Flow.schedule;
     (match svg with
     | Some path ->
@@ -134,6 +137,12 @@ let schedule_cmd =
   let gantt_arg =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Also print the per-PE schedule.")
   in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the thermal inquiry-engine statistics (inquiries, \
+                   cache hits, fixed-point iterations, solves, wall time).")
+  in
   let svg_arg =
     Arg.(value & opt (some string) None
          & info [ "svg" ] ~docv:"FILE" ~doc:"Write a Gantt chart SVG.")
@@ -145,8 +154,8 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run one benchmark/policy/architecture combination.")
-    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ svg_arg
-          $ fp_svg_arg)
+    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ stats_arg
+          $ svg_arg $ fp_svg_arg)
 
 (* --- thermal ------------------------------------------------------------ *)
 

@@ -52,6 +52,7 @@ module Transient = Tats_thermal.Transient
 module Gridmodel = Tats_thermal.Gridmodel
 module Stack = Tats_thermal.Stack
 module Hotspot = Tats_thermal.Hotspot
+module Inquiry = Tats_thermal.Inquiry
 module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module Dc = Tats_sched.Dc

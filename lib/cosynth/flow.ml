@@ -7,6 +7,7 @@ module Grid = Tats_floorplan.Grid
 module Ga = Tats_floorplan.Ga
 module Package = Tats_thermal.Package
 module Hotspot = Tats_thermal.Hotspot
+module Inquiry = Tats_thermal.Inquiry
 module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module List_sched = Tats_sched.List_sched
@@ -30,8 +31,17 @@ type outcome = {
   report : Metrics.thermal_report;
   arch_cost : float;
   outer_iterations : int;
+  inquiry : Tats_thermal.Inquiry.stats;
   log : log_entry list;
 }
+
+let inquiry_detail hotspot =
+  let s = Hotspot.inquiry_stats hotspot in
+  Printf.sprintf
+    "%d HotSpot inquiries (%d cache hits; %d factored solves vs %d \
+     dense-path equivalents)"
+    (Hotspot.inquiries hotspot)
+    s.Inquiry.cache_hits s.Inquiry.factored_solves s.Inquiry.dense_solves
 
 let blocks_of_insts insts =
   Array.map
@@ -63,6 +73,7 @@ let finalize ~leakage ~lib ~hotspot ~arch_cost ~outer ~log schedule placement =
     report;
     arch_cost;
     outer_iterations = outer;
+    inquiry = Hotspot.inquiry_stats hotspot;
     log = List.rev log;
   }
 
@@ -101,8 +112,7 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?weights
   push Scheduling
     (Printf.sprintf "policy %s, makespan %.1f / deadline %.0f" (Policy.name policy)
        schedule.Schedule.makespan (Graph.deadline graph));
-  push Thermal_extraction
-    (Printf.sprintf "%d HotSpot inquiries" (Hotspot.inquiries hotspot));
+  push Thermal_extraction (inquiry_detail hotspot);
   let arch_cost = float_of_int n_pes *. (Library.kind lib 0).Pe.cost in
   finalize ~leakage ~lib ~hotspot ~arch_cost ~outer:1 ~log:!log schedule placement
 
@@ -205,8 +215,7 @@ let run_cosynthesis ?(package = Package.default) ?weights ?(leakage = true)
       && Array.length insts < max_pes
     then attempt (outer + 1) (Array.length insts + 1)
     else begin
-      push Thermal_extraction
-        (Printf.sprintf "%d HotSpot inquiries" (Hotspot.inquiries hotspot));
+      push Thermal_extraction (inquiry_detail hotspot);
       finalize ~leakage ~lib ~hotspot ~arch_cost:alloc.Alloc.total_cost ~outer
         ~log:!log schedule placement
     end

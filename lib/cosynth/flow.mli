@@ -35,6 +35,10 @@ type outcome = {
   report : Metrics.thermal_report;
   arch_cost : float;          (** catalogue cost of the selected PEs *)
   outer_iterations : int;     (** times the "meets requirement?" loop ran *)
+  inquiry : Tats_thermal.Inquiry.stats;
+      (** inquiry-engine counters of the final hotspot: inquiries served,
+          cache hits, fixed-point iterations, factored vs dense-equivalent
+          solves, wall time *)
   log : log_entry list;       (** stage trace, in execution order *)
 }
 

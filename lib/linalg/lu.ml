@@ -42,10 +42,16 @@ let factor a =
   done;
   { lu; perm; sign = !sign }
 
-let solve_factored { lu; perm; _ } b =
+let size { lu; _ } = Matrix.rows lu
+
+let solve_factored_into { lu; perm; _ } ~b ~x =
   let n = Matrix.rows lu in
-  if Array.length b <> n then invalid_arg "Lu.solve_factored: size mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve_factored_into: size mismatch";
+  if b == x then invalid_arg "Lu.solve_factored_into: b and x must not alias";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   (* Forward substitution with unit-diagonal L. *)
   for i = 1 to n - 1 do
     for j = 0 to i - 1 do
@@ -58,8 +64,19 @@ let solve_factored { lu; perm; _ } b =
       x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
     done;
     x.(i) <- x.(i) /. Matrix.get lu i i
-  done;
+  done
+
+let solve_factored f b =
+  let x = Array.make (size f) 0.0 in
+  solve_factored_into f ~b ~x;
   x
+
+let unit_solution f j =
+  let n = size f in
+  if j < 0 || j >= n then invalid_arg "Lu.unit_solution: index out of range";
+  let e = Array.make n 0.0 in
+  e.(j) <- 1.0;
+  solve_factored f e
 
 let solve a b = solve_factored (factor a) b
 

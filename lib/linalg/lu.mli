@@ -14,8 +14,20 @@ val factor : Matrix.t -> t
 (** [factor a] computes [P*A = L*U]. Raises [Singular] if a zero pivot is
     encountered, and [Invalid_argument] if [a] is not square. *)
 
+val size : t -> int
+(** Dimension of the factored system. *)
+
 val solve_factored : t -> float array -> float array
 (** [solve_factored lu b] solves [A x = b] in O(n^2). *)
+
+val solve_factored_into : t -> b:float array -> x:float array -> unit
+(** Allocation-free [solve_factored]: writes the solution into [x] (length
+    [size]). [b] and [x] must be distinct arrays. *)
+
+val unit_solution : t -> int -> float array
+(** [unit_solution lu j] solves [A x = e_j] — column [j] of the inverse.
+    The thermal inquiry engine extracts one such column per block to build
+    its influence matrix. *)
 
 val solve : Matrix.t -> float array -> float array
 (** One-shot [factor] + [solve_factored]. *)

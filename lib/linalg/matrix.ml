@@ -36,6 +36,10 @@ let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
 
 let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
 
+let col m j =
+  if j < 0 || j >= m.cols then invalid_arg "Matrix.col: column out of range";
+  Array.init m.rows (fun i -> get m i j)
+
 let copy m = { m with data = Array.copy m.data }
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)

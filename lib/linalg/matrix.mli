@@ -16,6 +16,10 @@ val of_arrays : float array array -> t
 
 val to_arrays : t -> float array array
 
+val col : t -> int -> float array
+(** [col m j] copies column [j] out as a vector. Raises [Invalid_argument]
+    when [j] is out of range. *)
+
 val rows : t -> int
 val cols : t -> int
 

@@ -26,4 +26,20 @@ let cost_task_energy lib ~task_type ~kind =
 
 let cost_temperature ~ambient ~avg_temp = (avg_temp -. ambient) /. 100.0
 
+(* The paper's thermal inquiry, served by the influence-matrix engine: the
+   cumulating power of every PE (the per-step [base]) plus the consuming
+   power the candidate task would incur on the candidate PE. Leakage
+   coupling matters here — in a purely linear network the average
+   temperature is nearly independent of which PE receives the task, and
+   the inquiry could not discriminate. *)
+let cost_thermal ~engine ~base ~idle ~finish ~pe ~task_power =
+  let horizon = Float.max finish 1e-9 in
+  let temps =
+    Tats_thermal.Inquiry.query_delta engine ~base ~horizon ~pe
+      ~extra:task_power ~idle
+  in
+  cost_temperature
+    ~ambient:(Tats_thermal.Inquiry.package engine).Tats_thermal.Package.ambient
+    ~avg_temp:(Tats_util.Stats.mean temps)
+
 let value ~sc ~wcet ~start ~cost ~weight = sc -. wcet -. start -. (weight *. cost)

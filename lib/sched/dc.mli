@@ -29,6 +29,20 @@ val cost_task_energy : Library.t -> task_type:int -> kind:int -> float
 val cost_temperature : ambient:float -> avg_temp:float -> float
 (** Thermal: (HotSpot average temperature - ambient) / 100 °C. *)
 
+val cost_thermal :
+  engine:Tats_thermal.Inquiry.t ->
+  base:Tats_thermal.Inquiry.base ->
+  idle:float array ->
+  finish:float ->
+  pe:int ->
+  task_power:float ->
+  float
+(** The thermal-aware candidate cost, end to end: issue the paper's HotSpot
+    inquiry through the {!Tats_thermal.Inquiry} engine — the per-step
+    [base] (cumulated PE energies) averaged over the candidate's finish
+    horizon, plus [task_power] on the candidate [pe], delta-evaluated —
+    and fold the average temperature through {!cost_temperature}. *)
+
 val value :
   sc:float -> wcet:float -> start:float -> cost:float -> weight:float -> float
 (** [DC = sc - wcet - start - weight * cost]. [start] is

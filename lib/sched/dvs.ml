@@ -133,7 +133,7 @@ let thermal_report ?(leakage = true) plan ~hotspot =
     Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) s.Schedule.pes
   in
   let block_temps =
-    if leakage then Hotspot.query_with_leakage hotspot ~dynamic ~idle
+    if leakage then Hotspot.inquire_with_leakage hotspot ~dynamic ~idle
     else Hotspot.query hotspot ~power:(Array.mapi (fun i d -> d +. idle.(i)) dynamic)
   in
   {

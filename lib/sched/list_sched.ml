@@ -4,7 +4,7 @@ module Pe = Tats_techlib.Pe
 module Library = Tats_techlib.Library
 module Comm = Tats_techlib.Comm
 module Hotspot = Tats_thermal.Hotspot
-module Package = Tats_thermal.Package
+module Inquiry = Tats_thermal.Inquiry
 
 exception Thermal_policy_needs_hotspot
 
@@ -38,22 +38,6 @@ let earliest_start st ~comm ~exclusive graph task pe =
   in
   Float.max ready avail
 
-(* The paper's inquiry: the cumulating (average) power of every PE, plus the
-   consuming power (WCPC) the candidate task would incur on the candidate
-   PE. Leakage coupling matters here — in a purely linear network the
-   average temperature is nearly independent of which PE receives the task,
-   and the inquiry could not discriminate. *)
-let thermal_cost ~hotspot ~idle st ~pes ~candidate_pe ~task_power ~finish =
-  let horizon = Float.max finish 1e-9 in
-  let dynamic =
-    Array.init (Array.length pes) (fun p ->
-        (st.pe_energy.(p) /. horizon)
-        +. (if p = candidate_pe then task_power else 0.0))
-  in
-  let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
-  let avg = Tats_util.Stats.mean temps in
-  Dc.cost_temperature ~ambient:(Hotspot.package hotspot).Package.ambient ~avg_temp:avg
-
 let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~policy () =
   let n = Graph.n_tasks graph in
   let weights =
@@ -70,6 +54,13 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
   let comm = Library.comm lib in
   let sc = Dc.static_criticality lib graph in
   let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) pes in
+  (* The inquiry engine is shared by every candidate evaluation; built once
+     per run (n_blocks factored solves) and only for the thermal policy. *)
+  let engine =
+    match (policy, hotspot) with
+    | Policy.Thermal_aware, Some h -> Some (Hotspot.inquiry h)
+    | _ -> None
+  in
   let st =
     {
       entries = Array.make n None;
@@ -88,6 +79,14 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
   in
   while st.n_scheduled < n do
     assert (not (Iset.is_empty !ready));
+    (* One base solve per scheduling step: the influence response to the
+       committed PE energies. Candidates below are delta-evaluated against
+       it in O(n_blocks) each instead of re-solving from scratch. *)
+    let base =
+      match engine with
+      | None -> None
+      | Some e -> Some (Inquiry.base_response e ~power:st.pe_energy)
+    in
     (* Scan every (ready task, PE) pair for the highest DC. *)
     let best = ref None in
     Iset.iter
@@ -111,10 +110,11 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
               | Policy.Power_aware Policy.Min_task_energy ->
                   Dc.cost_task_energy lib ~task_type:tt ~kind
               | Policy.Thermal_aware ->
-                  let hotspot = Option.get hotspot in
+                  let engine = Option.get engine in
+                  let base = Option.get base in
                   let task_power = Library.wcpc lib ~task_type:tt ~kind in
-                  thermal_cost ~hotspot ~idle st ~pes ~candidate_pe:pe
-                    ~task_power ~finish
+                  Dc.cost_thermal ~engine ~base ~idle ~finish ~pe
+                    ~task_power
             in
             let dc =
               Dc.value ~sc:sc.(task) ~wcet ~start ~cost
@@ -148,7 +148,13 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
   done;
   let entries =
     Array.mapi
-      (fun i e -> match e with Some e -> e | None -> assert (i >= 0); assert false)
+      (fun i e ->
+        match e with
+        | Some e -> e
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "List_sched.run: internal error: task %d was never scheduled" i))
       st.entries
   in
   Schedule.make ~graph ~pes ~entries

@@ -56,7 +56,7 @@ let thermal_report ?(leakage = true) (s : Schedule.t) ~hotspot =
   let dynamic = Array.map (fun e -> e /. horizon) (pe_energies s) in
   let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) s.pes in
   let block_temps =
-    if leakage then Hotspot.query_with_leakage hotspot ~dynamic ~idle
+    if leakage then Hotspot.inquire_with_leakage hotspot ~dynamic ~idle
     else Hotspot.query hotspot ~power:(Array.mapi (fun i d -> d +. idle.(i)) dynamic)
   in
   let pe_powers = Array.mapi (fun i d -> d +. idle.(i)) dynamic in

@@ -109,7 +109,7 @@ let analyze ?(sampler = default_sampler) ?(runs = 200) ~seed ~lib ~hotspot
           dynamic.(e.Schedule.pe)
           +. (e.Schedule.energy *. fractions.(task) /. Float.max makespan 1e-9))
       s.Schedule.entries;
-    let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
+    let temps = Hotspot.inquire_with_leakage ~warm:true hotspot ~dynamic ~idle in
     peaks.(run) <- Stats.max temps
   done;
   {

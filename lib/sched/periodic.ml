@@ -164,7 +164,7 @@ let schedule ?(policy = Policy.Baseline) ?weights ?hotspot ~apps ~lib ~pes () =
                         +.
                         if p = pe then Library.wcpc lib ~task_type:tt ~kind else 0.0)
                   in
-                  let temps = Hotspot.query_with_leakage hotspot ~dynamic ~idle in
+                  let temps = Hotspot.inquire_with_leakage hotspot ~dynamic ~idle in
                   Dc.cost_temperature
                     ~ambient:(Hotspot.package hotspot).Tats_thermal.Package.ambient
                     ~avg_temp:(Stats.mean temps)
@@ -274,7 +274,7 @@ let thermal_report ?(leakage = true) t ~hotspot =
   let dynamic = Array.map (fun e -> e /. Float.max t.hyper 1e-9) dyn in
   let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) t.pes in
   let block_temps =
-    if leakage then Hotspot.query_with_leakage hotspot ~dynamic ~idle
+    if leakage then Hotspot.inquire_with_leakage hotspot ~dynamic ~idle
     else Hotspot.query hotspot ~power:(Array.mapi (fun i d -> d +. idle.(i)) dynamic)
   in
   {

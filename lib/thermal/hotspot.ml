@@ -6,18 +6,42 @@ type t = {
   model : Rcmodel.t;
   solver : Steady.t;
   mutable inquiries : int;
+  mutable engine : Inquiry.t option;
 }
 
 let create ?(package = Package.default) placement =
   let model = Rcmodel.build package placement in
-  { package; placement; model; solver = Steady.create model; inquiries = 0 }
+  {
+    package;
+    placement;
+    model;
+    solver = Steady.create model;
+    inquiries = 0;
+    engine = None;
+  }
 
 let n_blocks t = Rcmodel.n_blocks t.model
 let package t = t.package
 let placement t = t.placement
 let model t = t.model
 let solver t = t.solver
-let inquiries t = t.inquiries
+
+(* The engine costs n_blocks factored solves to build, so it is created on
+   first use — facades that only ever serve direct queries never pay. *)
+let inquiry t =
+  match t.engine with
+  | Some e -> e
+  | None ->
+      let e = Inquiry.create t.solver in
+      t.engine <- Some e;
+      e
+
+let inquiry_stats t =
+  match t.engine with None -> Inquiry.empty_stats | Some e -> Inquiry.stats e
+
+let inquiries t =
+  t.inquiries
+  + match t.engine with None -> 0 | Some e -> (Inquiry.stats e).Inquiry.inquiries
 
 let query t ~power =
   t.inquiries <- t.inquiries + 1;
@@ -26,6 +50,9 @@ let query t ~power =
 let query_with_leakage t ~dynamic ~idle =
   t.inquiries <- t.inquiries + 1;
   fst (Steady.solve_with_leakage t.solver ~dynamic ~idle)
+
+let inquire_with_leakage ?warm t ~dynamic ~idle =
+  Inquiry.query_with_leakage ?warm (inquiry t) ~dynamic ~idle
 
 let average_temperature t ~power = Tats_util.Stats.mean (query t ~power)
 let peak_temperature t ~power = Tats_util.Stats.max (query t ~power)

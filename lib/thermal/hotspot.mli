@@ -20,7 +20,22 @@ val query : t -> power:float array -> float array
 
 val query_with_leakage : t -> dynamic:float array -> idle:float array -> float array
 (** Temperature-dependent leakage fixed point (see
-    {!Steady.solve_with_leakage}). *)
+    {!Steady.solve_with_leakage}) — the dense reference path: one factored
+    back-substitution per fixed-point iteration. *)
+
+val inquire_with_leakage :
+  ?warm:bool -> t -> dynamic:float array -> idle:float array -> float array
+(** Same query served by the {!Inquiry} engine: influence-matrix solves, a
+    quantized-power cache, optional warm start — the production hot path.
+    Matches {!query_with_leakage} within floating-point noise. *)
+
+val inquiry : t -> Inquiry.t
+(** The facade's inquiry engine, built (n_blocks factored solves) on first
+    use and shared by every subsequent fast-path query. *)
+
+val inquiry_stats : t -> Inquiry.stats
+(** Engine counters ({!Inquiry.empty_stats} when no fast-path query was
+    ever issued). *)
 
 val average_temperature : t -> power:float array -> float
 (** The scalar the paper's thermal-aware DC consumes: the mean of the block
@@ -29,7 +44,8 @@ val average_temperature : t -> power:float array -> float
 val peak_temperature : t -> power:float array -> float
 
 val inquiries : t -> int
-(** Number of [query]/[query_with_leakage] calls served so far (experiment
+(** Number of inquiries served so far across both paths — direct
+    [query]/[query_with_leakage] calls plus engine inquiries (experiment
     instrumentation). *)
 
 val model : t -> Rcmodel.t

@@ -1,0 +1,106 @@
+(** The thermal inquiry engine.
+
+    The scheduler's hot path issues a HotSpot inquiry for every (ready
+    task, PE) candidate at every scheduling step. Solving the network with
+    a factored back-substitution inside the leakage fixed point for each of
+    them dominates table regeneration, so this engine precomputes, once per
+    (package, placement), the {e thermal influence matrix} — the block
+    temperature response per unit power injected on each block (one
+    {!Tats_linalg.Lu.unit_solution} per block). Every subsequent linear
+    solve is then [ambient + M.p], an O(n_blocks²) accumulation with no
+    factored solves at all, and within one scheduling step candidates are
+    delta-evaluated in O(n_blocks) from a per-step base response
+    ({!base_response} / {!query_delta}).
+
+    Numerical equivalence: the engine runs the {e same} damped fixed point
+    as {!Steady.solve_with_leakage} ({!Steady.fixed_point}), seeded with
+    the same linear solution, so fast-path temperatures match the dense
+    path to floating-point noise (well within 1e-6 °C — see
+    [test/test_inquiry.ml]).
+
+    Inquiries are cached keyed on the (1 nW-quantized) power vectors;
+    repeated inquiries — ubiquitous under [List_sched.run_adaptive]'s
+    bisection, which re-schedules the same prefixes over and over — are
+    served from the cache. Hit/miss, fixed-point-iteration, factored-solve
+    and wall-time counters are kept per engine and globally. *)
+
+type t
+
+type stats = {
+  inquiries : int;  (** leakage inquiries served *)
+  cache_hits : int;  (** of which from the cache *)
+  fp_iterations : int;  (** damped fixed-point iterations executed *)
+  factored_solves : int;  (** LU back-substitutions (influence columns) *)
+  dense_solves : int;
+      (** back-substitutions the dense path would have needed for the same
+          inquiries — the savings baseline *)
+  delta_evals : int;  (** O(n) candidate delta-evaluations *)
+  wall_time : float;  (** CPU seconds spent inside the engine *)
+}
+
+val empty_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val create : Steady.t -> t
+(** Builds the influence matrix — [n_blocks] factored solves, once. *)
+
+val solver : t -> Steady.t
+val n_blocks : t -> int
+val package : t -> Package.t
+
+val influence : t -> Tats_linalg.Matrix.t
+(** The influence matrix [M]: entry [(i, j)] is the steady-state
+    temperature rise of block [i] per W injected on block [j]. *)
+
+val influence_column : t -> int -> float array
+(** Column [j] of [M] — the response profile of heating block [j]. *)
+
+val temperatures : t -> power:float array -> float array
+(** Linear (leakage-free) block temperatures [ambient + M.p]; matches
+    {!Steady.block_temperatures} to floating-point noise. *)
+
+val query_with_leakage :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?warm:bool ->
+  t ->
+  dynamic:float array ->
+  idle:float array ->
+  float array
+(** Drop-in fast path for {!Steady.solve_with_leakage} (same damping, same
+    convergence test, influence-matrix inner solves). [warm] seeds the
+    fixed point from this engine's previous converged solution when one
+    exists — fewer iterations for a stream of similar inquiries, at the
+    price of a (bounded by [tol]) different iteration path. Results are
+    cached; non-default [max_iter]/[tol] bypass the cache. *)
+
+type base
+(** A per-scheduling-step precomputation: the influence response of a fixed
+    power basis (the per-PE cumulated energies). *)
+
+val base_response : t -> power:float array -> base
+
+val query_delta :
+  ?max_iter:int ->
+  ?tol:float ->
+  t ->
+  base:base ->
+  horizon:float ->
+  pe:int ->
+  extra:float ->
+  idle:float array ->
+  float array
+(** The paper's candidate inquiry, delta-evaluated: dynamic power
+    [base_power / horizon + extra . e_pe], fixed point seeded with the
+    O(n_blocks) linear combination [ambient + response/horizon +
+    extra . col(pe)] instead of a fresh solve. Semantics identical to
+    building that vector and calling {!query_with_leakage}. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val global_stats : unit -> stats
+(** Aggregate over every engine created since the last
+    {!reset_global_stats} — the bench harness' view. *)
+
+val reset_global_stats : unit -> unit

@@ -71,11 +71,19 @@ let build (pkg : Package.t) (placement : Placement.t) =
   c.(sink) <- pkg.Package.c_sink;
   { package = pkg; n_blocks = n; a; c; g_amb; lateral }
 
-let rhs t ~power =
+let rhs_into t ~power dst =
   if Array.length power <> t.n_blocks then
     invalid_arg "Rcmodel.rhs: power vector must have one entry per block";
-  Array.init (n_nodes t) (fun i ->
-      let inject = if i < t.n_blocks then power.(i) else 0.0 in
-      inject +. (t.g_amb.(i) *. t.package.Package.ambient))
+  if Array.length dst <> n_nodes t then
+    invalid_arg "Rcmodel.rhs_into: destination must have one entry per node";
+  for i = 0 to n_nodes t - 1 do
+    let inject = if i < t.n_blocks then power.(i) else 0.0 in
+    dst.(i) <- inject +. (t.g_amb.(i) *. t.package.Package.ambient)
+  done
+
+let rhs t ~power =
+  let dst = Array.make (n_nodes t) 0.0 in
+  rhs_into t ~power dst;
+  dst
 
 let lateral_conductance_between t i j = Matrix.get t.lateral i j

@@ -26,6 +26,10 @@ val rhs : t -> power:float array -> float array
 (** [rhs ~power] with [power] per block (length [n_blocks], W) builds
     [P + g_amb * T_amb] over all nodes. *)
 
+val rhs_into : t -> power:float array -> float array -> unit
+(** Allocation-free [rhs]: writes into a caller-owned buffer of length
+    [n_nodes] (hot-path variant for the leakage fixed point). *)
+
 val package : t -> Package.t
 
 val lateral_conductance_between : t -> int -> int -> float

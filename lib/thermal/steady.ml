@@ -20,33 +20,62 @@ let block_temperatures t ~power =
    the exponent is capped at 100 K above the reference. *)
 let max_leak_excursion = 100.0
 
-let solve_with_leakage ?(max_iter = 200) ?(tol = 1e-6) t ~dynamic ~idle =
-  let n = Rcmodel.n_blocks t.model in
-  if Array.length dynamic <> n || Array.length idle <> n then
-    invalid_arg "Steady.solve_with_leakage: bad vector length";
-  let pkg = Rcmodel.package t.model in
-  let beta = pkg.Package.leak_beta and t_ref = pkg.Package.leak_t_ref in
+let fixed_point ?(max_iter = 200) ?(tol = 1e-6) ?init ~package ~solve ~dynamic
+    ~idle () =
+  let n = Array.length dynamic in
+  if Array.length idle <> n then
+    invalid_arg "Steady.fixed_point: bad vector length";
+  let beta = package.Package.leak_beta and t_ref = package.Package.leak_t_ref in
   let leak temp base =
     let excursion = Float.min (temp -. t_ref) max_leak_excursion in
     base *. exp (beta *. excursion)
   in
-  let temps = ref (block_temperatures t ~power:dynamic) in
+  (* One power buffer and two temperature buffers serve the whole
+     iteration; [solve] writes block temperatures into its destination. *)
+  let power = Array.make n 0.0 in
+  let a = Array.make n 0.0 and b = Array.make n 0.0 in
+  (match init with
+  | Some t0 ->
+      if Array.length t0 <> n then
+        invalid_arg "Steady.fixed_point: bad initial guess length";
+      Array.blit t0 0 a 0 n
+  | None -> solve dynamic a);
+  let cur = ref a and next = ref b in
   let rec iterate k =
     if k >= max_iter then
-      failwith "Steady.solve_with_leakage: leakage fixed point did not converge";
-    let power = Array.init n (fun i -> dynamic.(i) +. leak !temps.(i) idle.(i)) in
-    let next = block_temperatures t ~power in
+      failwith "Steady: leakage fixed point did not converge";
+    let cur_t = !cur and next_t = !next in
+    for i = 0 to n - 1 do
+      power.(i) <- dynamic.(i) +. leak cur_t.(i) idle.(i)
+    done;
+    solve power next_t;
     (* Damping keeps the exponential feedback stable on hot designs; the
        convergence test is on the damped (committed) step. *)
     let delta = ref 0.0 in
-    Array.iteri
-      (fun i x ->
-        let damped = (0.4 *. x) +. (0.6 *. !temps.(i)) in
-        delta := Float.max !delta (Float.abs (damped -. !temps.(i)));
-        next.(i) <- damped)
-      next;
-    temps := next;
+    for i = 0 to n - 1 do
+      let damped = (0.4 *. next_t.(i)) +. (0.6 *. cur_t.(i)) in
+      delta := Float.max !delta (Float.abs (damped -. cur_t.(i)));
+      next_t.(i) <- damped
+    done;
+    cur := next_t;
+    next := cur_t;
     if !delta <= tol then k + 1 else iterate (k + 1)
   in
   let iters = iterate 0 in
-  (!temps, iters)
+  (!cur, iters)
+
+let factored t = t.factored
+
+let solve_with_leakage ?max_iter ?tol t ~dynamic ~idle =
+  let n = Rcmodel.n_blocks t.model in
+  if Array.length dynamic <> n || Array.length idle <> n then
+    invalid_arg "Steady.solve_with_leakage: bad vector length";
+  let nodes = Rcmodel.n_nodes t.model in
+  let rhs = Array.make nodes 0.0 and x = Array.make nodes 0.0 in
+  let solve power dst =
+    Rcmodel.rhs_into t.model ~power rhs;
+    Lu.solve_factored_into t.factored ~b:rhs ~x;
+    Array.blit x 0 dst 0 n
+  in
+  fixed_point ?max_iter ?tol ~package:(Rcmodel.package t.model) ~solve ~dynamic
+    ~idle ()

@@ -27,7 +27,29 @@ val solve_with_leakage :
   float array * int
 (** Fixed-point iteration coupling temperature and leakage:
     [p_i = dynamic_i + idle_i * exp(beta * (T_i - T_ref))]. Returns block
-    temperatures and the iteration count. [max_iter] defaults to 50, [tol]
+    temperatures and the iteration count. [max_iter] defaults to 200, [tol]
     (max °C change) to 1e-6. Raises [Failure] on divergence. *)
+
+val fixed_point :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init:float array ->
+  package:Package.t ->
+  solve:(float array -> float array -> unit) ->
+  dynamic:float array ->
+  idle:float array ->
+  unit ->
+  float array * int
+(** The damped leakage fixed point itself, parameterized over the linear
+    solve so that {!solve_with_leakage} (dense back-substitution) and the
+    influence-matrix fast path of {!Inquiry} run the *same* iteration —
+    the basis of their numerical-equivalence guarantee. [solve power dst]
+    must write the block temperatures for [power] into [dst] (both of
+    [dynamic]'s length). [init] seeds the iteration (e.g. a warm start
+    from a previous solution); by default the linear solution of [dynamic]
+    is used. Work buffers are allocated once per call, not per iteration. *)
+
+val factored : t -> Tats_linalg.Lu.t
+(** The factored network matrix (for influence-column extraction). *)
 
 val model : t -> Rcmodel.t

@@ -388,6 +388,79 @@ let test_montecarlo_deterministic () =
   Alcotest.(check (float 0.0)) "repeatable" (run ()).Sched_mc.makespan_mean
     (run ()).Sched_mc.makespan_mean
 
+(* --- List_sched.run_adaptive boundary cases -------------------------------- *)
+
+(* Rebuild a graph identical to [graph] except for its deadline. *)
+let with_deadline graph deadline =
+  let b = Graph.builder ~name:(Graph.name graph) ~deadline in
+  Array.iter
+    (fun (t : Tats_taskgraph.Task.t) ->
+      ignore (Graph.add_task b ~task_type:t.task_type () : Tats_taskgraph.Task.id))
+    (Graph.tasks graph);
+  List.iter
+    (fun (e : Graph.edge) -> Graph.add_edge b ~data:e.Graph.data e.Graph.src e.Graph.dst)
+    (Graph.edges graph);
+  Graph.build b
+
+let adaptive ?base_weights ?max_multiplier ~policy graph =
+  let hotspot = platform_hotspot 4 in
+  List_sched.run_adaptive ?base_weights ?max_multiplier ~hotspot ~graph
+    ~lib:platform_lib ~pes:(platform_pes 4) ~policy ()
+
+let test_adaptive_ceiling_shortcut () =
+  (* With a hopelessly loose deadline the full-strength attempt is already
+     feasible, and the bisection must be skipped entirely: the returned
+     weight is exactly base * max_multiplier. *)
+  let graph = with_deadline (Benchmarks.load 0) 1e7 in
+  let base = Policy.default_weights ~deadline:(Graph.deadline graph) in
+  let s, w = adaptive ~policy:Policy.Thermal_aware graph in
+  Alcotest.(check bool) "feasible" true (Schedule.meets_deadline s);
+  Alcotest.(check (float 1e-9)) "weight at ceiling"
+    (base.Policy.cost_weight *. 400.0)
+    w.Policy.cost_weight
+
+let test_adaptive_infeasible_floor () =
+  (* A deadline below the best possible makespan: even the pure-performance
+     schedule (weight 0) misses, and the adaptive search must report that
+     schedule with a zero weight rather than loop or lie. *)
+  let graph = with_deadline (Benchmarks.load 0) 1.0 in
+  let s, w = adaptive ~policy:Policy.Thermal_aware graph in
+  Alcotest.(check bool) "infeasible" true (not (Schedule.meets_deadline s));
+  Alcotest.(check (float 0.0)) "weight collapsed to zero" 0.0 w.Policy.cost_weight;
+  let baseline =
+    List_sched.run ~graph ~lib:platform_lib ~pes:(platform_pes 4)
+      ~policy:Policy.Baseline ()
+  in
+  Alcotest.(check (float 1e-9)) "floor = baseline makespan"
+    baseline.Schedule.makespan s.Schedule.makespan
+
+let test_adaptive_bisection_converges () =
+  (* Pin the deadline between the floor and full-weight makespans so the
+     bisection has real work to do; it must land on a feasible weight
+     strictly inside (0, max). *)
+  let graph0 = Benchmarks.load 0 in
+  let floor_s, _ =
+    adaptive ~base_weights:{ Policy.cost_weight = 0.0 }
+      ~policy:Policy.Thermal_aware graph0
+  in
+  let m0 = floor_s.Schedule.makespan in
+  let base = Policy.default_weights ~deadline:(Graph.deadline graph0) in
+  let full =
+    List_sched.run
+      ~weights:{ Policy.cost_weight = base.Policy.cost_weight *. 400.0 }
+      ~hotspot:(platform_hotspot 4) ~graph:graph0 ~lib:platform_lib
+      ~pes:(platform_pes 4) ~policy:Policy.Thermal_aware ()
+  in
+  let m400 = full.Schedule.makespan in
+  Alcotest.(check bool) "weights stretch the schedule" true (m400 > m0 +. 1e-6);
+  let graph = with_deadline graph0 ((m0 +. m400) /. 2.0) in
+  let s, w = adaptive ~policy:Policy.Thermal_aware graph in
+  let base = Policy.default_weights ~deadline:(Graph.deadline graph) in
+  Alcotest.(check bool) "meets pinned deadline" true (Schedule.meets_deadline s);
+  Alcotest.(check bool) "weight strictly positive" true (w.Policy.cost_weight > 0.0);
+  Alcotest.(check bool) "weight below ceiling" true
+    (w.Policy.cost_weight < base.Policy.cost_weight *. 400.0)
+
 (* --- random-graph properties for the extension schedulers ------------------- *)
 
 let random_graph seed tasks =
@@ -483,6 +556,13 @@ let () =
           Alcotest.test_case "underruns shorten" `Quick test_montecarlo_underruns_shorten;
           Alcotest.test_case "overruns can miss" `Quick test_montecarlo_overruns_can_miss;
           Alcotest.test_case "deterministic" `Quick test_montecarlo_deterministic;
+        ] );
+      ( "run_adaptive",
+        [
+          Alcotest.test_case "ceiling shortcut" `Quick test_adaptive_ceiling_shortcut;
+          Alcotest.test_case "infeasible floor" `Quick test_adaptive_infeasible_floor;
+          Alcotest.test_case "bisection converges" `Quick
+            test_adaptive_bisection_converges;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
