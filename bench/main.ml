@@ -9,16 +9,27 @@
    2. Runs the ablation studies DESIGN.md calls out: the DC cost-weight
       sweep, leakage feedback on/off, GA floorplanning effort, and the
       compact (dense LU) vs grid (sparse CG) thermal solvers.
-   3. Times the experiment kernels with Bechamel (one Test.make per table
+   3. Measures the parallel scaling of the domain-pool workloads
+      (Monte-Carlo, GA fitness, SA restarts) at 1/2/4 domains, verifies
+      they are bit-identical to the sequential runs, and writes
+      BENCH_parallel.json.
+   4. Times the experiment kernels with Bechamel (one Test.make per table
       plus one per Figure-1 flow, and micro-benchmarks of the hot paths).
 
-   Pass --tables-only to skip the Bechamel timing runs (CI-friendly). *)
+   Pass --tables-only to skip the Bechamel timing runs (CI-friendly) and
+   --jobs N to size the default execution pool used by the table phase.
+
+   Every BENCH_*.json written is echoed as one machine-readable line
+   `BENCH-JSON <path>` for CI collectors. *)
 
 open Bechamel
 open Toolkit
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* One greppable line per machine-readable artifact. *)
+let announce_json path = Printf.printf "BENCH-JSON %s\n" path
 
 (* ----------------------------------------------------------------------- *)
 (* 1. Table and figure regeneration                                         *)
@@ -73,7 +84,8 @@ let inquiry_summary ~elapsed =
         s.Core.Inquiry.fp_iterations s.Core.Inquiry.delta_evals
         s.Core.Inquiry.factored_solves s.Core.Inquiry.dense_solves reduction
         s.Core.Inquiry.wall_time elapsed);
-  Printf.printf "wrote BENCH_inquiry.json\n"
+  Printf.printf "wrote BENCH_inquiry.json\n";
+  announce_json "BENCH_inquiry.json"
 
 let regenerate_tables () =
   hr "Tables 1-3 (paper vs measured)";
@@ -438,7 +450,152 @@ let design_space_exploration () =
     (Core.Pareto.frontier points)
 
 (* ----------------------------------------------------------------------- *)
-(* 3. Bechamel timing benches                                               *)
+(* 3. Parallel scaling of the domain-pool workloads                         *)
+(* ----------------------------------------------------------------------- *)
+
+(* Each workload returns an observable fingerprint of its result; the same
+   fingerprint must come back at every pool size (the pool's determinism
+   contract), and wall time should drop with domains when cores exist. *)
+type scaling_row = {
+  workload : string;
+  times : (int * float) list; (* jobs -> wall seconds *)
+  identical : bool;
+}
+
+let scaling_jobs = [ 1; 2; 4 ]
+
+let measure_workload ~name (f : Core.Pool.t -> 'a) =
+  let run jobs =
+    Core.Pool.with_pool ~jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let v = f pool in
+        (jobs, Unix.gettimeofday () -. t0, v))
+  in
+  let results = List.map run scaling_jobs in
+  let _, _, reference = List.hd results in
+  {
+    workload = name;
+    times = List.map (fun (j, t, _) -> (j, t)) results;
+    identical = List.for_all (fun (_, _, v) -> v = reference) results;
+  }
+
+let parallel_scaling () =
+  hr "Parallel scaling — domain-pool workloads at 1/2/4 domains";
+  let cores = Domain.recommended_domain_count () in
+  let graph = Core.Benchmarks.load 0 in
+  let lib = Core.Catalog.platform_library () in
+  let pes = Core.Catalog.platform_instances 4 in
+  let schedule =
+    Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline ()
+  in
+  let rng = Core.Rng.create 7 in
+  let blocks =
+    Array.init 6 (fun i ->
+        Core.Block.make ~name:(Printf.sprintf "b%d" i)
+          ~area:(Core.Rng.uniform rng 8e-6 2.5e-5)
+          ())
+  in
+  let blocks_area = Array.fold_left (fun a b -> a +. b.Core.Block.area) 0.0 blocks in
+  let thermal_cost p =
+    Core.Flow.floorplan_cost ~blocks_area p
+    +. 0.05
+       *. (Core.Hotspot.peak_temperature (Core.Hotspot.create p)
+             ~power:[| 9.0; 10.0; 1.0; 1.5; 0.8; 1.2 |]
+           -. Core.Package.default.Core.Package.ambient)
+  in
+  let rows =
+    [
+      measure_workload ~name:"monte-carlo (Bm1, 1000 runs)" (fun pool ->
+          (* A fresh facade per pool size: the fingerprint must not depend
+             on cache state left by a previous measurement. *)
+          let hotspot =
+            Core.Hotspot.create
+              (Core.Grid.layout
+                 (Array.init 4 (fun i ->
+                      Core.Block.make ~name:(Printf.sprintf "PE%d" i)
+                        ~area:1.6e-5 ())))
+          in
+          Core.Montecarlo.analyze ~runs:1000 ~pool ~seed:11 ~lib ~hotspot
+            schedule);
+      measure_workload ~name:"GA thermal floorplan (15 generations)" (fun pool ->
+          let r =
+            Core.Ga.run
+              ~params:{ Core.Ga.default_params with Core.Ga.generations = 15 }
+              ~pool ~seed:42 ~blocks ~cost:thermal_cost ()
+          in
+          (r.Core.Ga.best_cost, r.Core.Ga.history));
+      measure_workload ~name:"SA mapper (4 restarts)" (fun pool ->
+          let r =
+            Core.Sa_mapper.run_restarts
+              ~params:
+                {
+                  Core.Sa_mapper.initial_temperature = 30.0;
+                  cooling = 0.9;
+                  moves_per_temperature = 40;
+                  min_temperature = 0.3;
+                }
+              ~pool ~restarts:4 ~seed:1 ~objective:Core.Sa_mapper.Makespan
+              ~graph ~lib ~pes ()
+          in
+          (r.Core.Sa_mapper.best_restart, r.Core.Sa_mapper.restart_costs));
+    ]
+  in
+  let time_at jobs row = List.assoc jobs row.times in
+  Printf.printf "detected cores: %d\n" cores;
+  Printf.printf "%-38s %9s %9s %9s %9s %10s\n" "workload" "jobs=1" "jobs=2"
+    "jobs=4" "speedup" "identical";
+  List.iter
+    (fun row ->
+      Printf.printf "%-38s %8.3fs %8.3fs %8.3fs %8.2fx %10s\n" row.workload
+        (time_at 1 row) (time_at 2 row) (time_at 4 row)
+        (time_at 1 row /. Float.max (time_at 4 row) 1e-9)
+        (if row.identical then "yes" else "NO"))
+    rows;
+  let all_identical = List.for_all (fun r -> r.identical) rows in
+  let best_speedup =
+    List.fold_left
+      (fun acc r -> Float.max acc (time_at 1 r /. Float.max (time_at 4 r) 1e-9))
+      0.0 rows
+  in
+  (* The >= 2x assertion only means something when the machine has cores to
+     scale onto; on fewer than 4 cores it is reported as SKIP, not faked. *)
+  let speedup_verdict =
+    if cores < 4 then Printf.sprintf "SKIP (only %d core%s)" cores
+        (if cores = 1 then "" else "s")
+    else if best_speedup >= 2.0 then "PASS"
+    else "FAIL"
+  in
+  Printf.printf "determinism across pool sizes: %s\n"
+    (if all_identical then "[PASS] bit-identical at jobs 1/2/4" else "[FAIL]");
+  Printf.printf "speedup at 4 domains (best %.2fx, >= 2x target): %s\n"
+    best_speedup speedup_verdict;
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"cores\": %d,\n  \"jobs\": [1, 2, 4],\n" cores;
+      Printf.fprintf oc "  \"workloads\": [\n";
+      List.iteri
+        (fun i row ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"wall_s\": [%.4f, %.4f, %.4f], \"speedup4\": \
+             %.3f, \"identical\": %b}%s\n"
+            row.workload (time_at 1 row) (time_at 2 row) (time_at 4 row)
+            (time_at 1 row /. Float.max (time_at 4 row) 1e-9)
+            row.identical
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"identical\": %b,\n" all_identical;
+      Printf.fprintf oc "  \"best_speedup4\": %.3f,\n" best_speedup;
+      Printf.fprintf oc "  \"speedup_target\": 2.0,\n";
+      Printf.fprintf oc "  \"speedup_check\": %S\n}\n" speedup_verdict);
+  Printf.printf "wrote BENCH_parallel.json\n";
+  announce_json "BENCH_parallel.json";
+  if not all_identical then exit 1
+
+(* ----------------------------------------------------------------------- *)
+(* 4. Bechamel timing benches                                               *)
 (* ----------------------------------------------------------------------- *)
 
 let platform_hotspot () =
@@ -589,6 +746,17 @@ let run_timings () =
 
 let () =
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
+  (* --jobs N sizes the default pool used by the table phase; the scaling
+     section always measures explicit 1/2/4-domain pools. *)
+  Array.iteri
+    (fun i arg ->
+      if arg = "--jobs" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some j -> Core.Pool.set_default_jobs j
+        | None ->
+            prerr_endline "bench: --jobs expects an integer";
+            exit 2)
+    Sys.argv;
   let _tables = regenerate_tables () in
   figure1_flows ();
   ablation_weight_sweep ();
@@ -605,5 +773,6 @@ let () =
   ablation_dtm ();
   ablation_montecarlo ();
   design_space_exploration ();
+  parallel_scaling ();
   if not tables_only then run_timings ();
   print_newline ()

@@ -25,6 +25,17 @@ let csv_arg =
   let doc = "Emit CSV instead of the formatted table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Size of the execution pool (domains) used for parallel sections — \
+     table cells, GA fitness evaluation, Monte-Carlo replications, SA \
+     restarts. Defaults to the number of cores; results are identical at \
+     any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs = function Some j -> Core.Pool.set_default_jobs j | None -> ()
+
 let parse_bench name =
   match name with
   | "Bm1" -> Ok 0
@@ -47,7 +58,8 @@ let or_die = function
 (* --- table commands ----------------------------------------------------- *)
 
 let table1_cmd =
-  let run csv =
+  let run csv jobs =
+    set_jobs jobs;
     let rows = Core.Experiments.table1 () in
     print_string
       (if csv then Core.Report.table1_csv rows else Core.Report.table1 rows)
@@ -55,27 +67,31 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Regenerate Table 1 (power heuristics on both architectures).")
-    Term.(const run $ csv_arg)
+    Term.(const run $ csv_arg $ jobs_arg)
 
 let versus_cmd name doc compute render render_csv =
-  let run csv =
+  let run csv jobs =
+    set_jobs jobs;
     let rows = compute () in
     print_string (if csv then render_csv rows else render rows)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_arg $ jobs_arg)
 
 let table2_cmd =
   versus_cmd "table2"
     "Regenerate Table 2 (power vs thermal, co-synthesis architecture)."
-    Core.Experiments.table2 Core.Report.table2 Core.Report.versus_csv
+    (fun () -> Core.Experiments.table2 ())
+    Core.Report.table2 Core.Report.versus_csv
 
 let table3_cmd =
   versus_cmd "table3"
     "Regenerate Table 3 (power vs thermal, platform architecture)."
-    Core.Experiments.table3 Core.Report.table3 Core.Report.versus_csv
+    (fun () -> Core.Experiments.table3 ())
+    Core.Report.table3 Core.Report.versus_csv
 
 let checks_cmd =
-  let run () =
+  let run jobs =
+    set_jobs jobs;
     let table1 = Core.Experiments.table1 () in
     let table2 = Core.Experiments.table2 () in
     let table3 = Core.Experiments.table3 () in
@@ -86,12 +102,13 @@ let checks_cmd =
   Cmd.v
     (Cmd.info "checks"
        ~doc:"Run every table and verify the reproduction's shape criteria.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- schedule ----------------------------------------------------------- *)
 
 let schedule_cmd =
-  let run bench policy arch gantt stats svg floorplan_svg =
+  let run bench policy arch gantt stats svg floorplan_svg jobs =
+    set_jobs jobs;
     let bench = or_die (parse_bench bench) in
     let policy = or_die (parse_policy policy) in
     let graph = Core.Benchmarks.load bench in
@@ -115,9 +132,11 @@ let schedule_cmd =
       (fun pe t -> Format.printf "PE%d: %.2f W -> %.2f °C@." pe
           report.Core.Metrics.pe_powers.(pe) t)
       report.Core.Metrics.block_temps;
-    if stats then
+    if stats then begin
       Format.printf "inquiry engine: %a@." Core.Inquiry.pp_stats
         outcome.Core.Flow.inquiry;
+      print_string (Core.Report.pool_stats (Core.Pool.stats (Core.Pool.default ())))
+    end;
     if gantt then Format.printf "%a@." Core.Schedule.pp outcome.Core.Flow.schedule;
     (match svg with
     | Some path ->
@@ -155,7 +174,7 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run one benchmark/policy/architecture combination.")
     Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ stats_arg
-          $ svg_arg $ fp_svg_arg)
+          $ svg_arg $ fp_svg_arg $ jobs_arg)
 
 (* --- thermal ------------------------------------------------------------ *)
 
@@ -225,7 +244,8 @@ let thermal_cmd =
 (* --- floorplan ---------------------------------------------------------- *)
 
 let floorplan_cmd =
-  let run n seed svg =
+  let run n seed svg jobs =
+    set_jobs jobs;
     let rng = Core.Rng.create seed in
     let blocks =
       Array.init n (fun i ->
@@ -262,31 +282,60 @@ let floorplan_cmd =
   in
   Cmd.v
     (Cmd.info "floorplan" ~doc:"Run the GA floorplanner on random blocks.")
-    Term.(const run $ n_arg $ seed_arg $ svg_arg)
+    Term.(const run $ n_arg $ seed_arg $ svg_arg $ jobs_arg)
 
 (* --- compare ------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run bench =
+  let run bench restarts jobs =
+    set_jobs jobs;
     let bench = or_die (parse_bench bench) in
+    if restarts < 1 then or_die (Error "--restarts must be >= 1");
     let graph = Core.Benchmarks.load bench in
     let lib = Core.Catalog.platform_library () in
     let pes = Core.Catalog.platform_instances 4 in
     let asp = Core.List_sched.run ~graph ~lib ~pes ~policy:Core.Policy.Baseline () in
     let heft = Core.Heft.run ~graph ~lib ~pes () in
-    let sa =
-      Core.Sa_mapper.run ~seed:1 ~objective:Core.Sa_mapper.Makespan ~graph ~lib ~pes ()
+    let sa_label, sa_makespan =
+      if restarts = 1 then
+        let sa =
+          Core.Sa_mapper.run ~seed:1 ~objective:Core.Sa_mapper.Makespan ~graph
+            ~lib ~pes ()
+        in
+        ("SA mapper", sa.Core.Sa_mapper.schedule.Core.Schedule.makespan)
+      else begin
+        let r =
+          Core.Sa_mapper.run_restarts ~restarts ~seed:1
+            ~objective:Core.Sa_mapper.Makespan ~graph ~lib ~pes ()
+        in
+        Format.printf "SA restart costs:";
+        Array.iteri
+          (fun i c ->
+            Format.printf " %s%.1f%s"
+              (if i = r.Core.Sa_mapper.best_restart then "[" else "")
+              c
+              (if i = r.Core.Sa_mapper.best_restart then "]" else ""))
+          r.Core.Sa_mapper.restart_costs;
+        Format.printf "@.";
+        ( Printf.sprintf "SA mapper (%dx)" restarts,
+          r.Core.Sa_mapper.best.Core.Sa_mapper.schedule.Core.Schedule.makespan )
+      end
     in
     Format.printf "%-22s %12s@." "scheduler" "makespan";
     Format.printf "%-22s %12.1f@." "ASP (list, baseline)" asp.Core.Schedule.makespan;
     Format.printf "%-22s %12.1f@." "HEFT (insertion)" heft.Core.Schedule.makespan;
-    Format.printf "%-22s %12.1f@." "SA mapper"
-      sa.Core.Sa_mapper.schedule.Core.Schedule.makespan;
+    Format.printf "%-22s %12.1f@." sa_label sa_makespan;
     Format.printf "%-22s %12.0f@." "deadline" (Core.Graph.deadline graph)
+  in
+  let restarts_arg =
+    Arg.(value & opt int 1
+         & info [ "restarts" ] ~docv:"R"
+             ~doc:"Independent SA chains (derived seeds, best kept). 1 \
+                   reproduces the single-chain behaviour exactly.")
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the ASP against HEFT and the SA mapper.")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_arg $ restarts_arg $ jobs_arg)
 
 (* --- dvs ---------------------------------------------------------------- *)
 
@@ -416,7 +465,8 @@ let robustness_cmd =
 (* --- artifacts ------------------------------------------------------------ *)
 
 let artifacts_cmd =
-  let run dir =
+  let run dir jobs =
+    set_jobs jobs;
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let write name contents =
       let path = Filename.concat dir name in
@@ -473,7 +523,7 @@ let artifacts_cmd =
     (Cmd.info "artifacts"
        ~doc:"Regenerate the full experiment artifact set (tables, CSV, \
              markdown, SVG, DOT, TGFF) into a directory.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ jobs_arg)
 
 (* --- export ------------------------------------------------------------- *)
 

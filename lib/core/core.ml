@@ -1,5 +1,6 @@
 module Rng = Tats_util.Rng
 module Stats = Tats_util.Stats
+module Pool = Tats_util.Pool
 module Matrix = Tats_linalg.Matrix
 module Lu = Tats_linalg.Lu
 module Sparse = Tats_linalg.Sparse

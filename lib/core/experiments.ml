@@ -4,6 +4,7 @@ module Policy = Tats_sched.Policy
 module Metrics = Tats_sched.Metrics
 module Flow = Tats_cosynth.Flow
 module Stats = Tats_util.Stats
+module Pool = Tats_util.Pool
 
 type cell = Metrics.row
 
@@ -30,36 +31,59 @@ let table1_policies =
     Policy.Power_aware Policy.Min_task_energy;
   ]
 
-let table1 () =
-  List.concat_map
-    (fun bench ->
-      let name = Benchmarks.descriptors.(bench).Benchmarks.bench_name in
-      List.map
-        (fun policy ->
-          {
-            bench = name;
-            policy;
-            cosynth = run_one ~arch:Cosynthesis ~policy ~bench;
-            platform = run_one ~arch:Platform ~policy ~bench;
-          })
-        table1_policies)
-    [ 0; 1; 2; 3 ]
+(* Table cells are independent deterministic flows, so each (bench, policy)
+   pair is one pool task ([chunk:1] — cells are coarse and few). Inside a
+   cell, the nested GA/Monte-Carlo maps degrade to inline execution; cell
+   values are pure, so the tables are identical at any pool size. *)
+let table1 ?pool () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let inputs =
+    Array.of_list
+      (List.concat_map
+         (fun bench -> List.map (fun policy -> (bench, policy)) table1_policies)
+         [ 0; 1; 2; 3 ])
+  in
+  let rows =
+    Pool.parallel_map ~chunk:1 pool
+      (fun (bench, policy) ->
+        {
+          bench = Benchmarks.descriptors.(bench).Benchmarks.bench_name;
+          policy;
+          cosynth = run_one ~arch:Cosynthesis ~policy ~bench;
+          platform = run_one ~arch:Platform ~policy ~bench;
+        })
+      inputs
+  in
+  Array.to_list rows
 
 type versus_row = { bench : string; power : cell; thermal : cell }
 
-let versus ~arch () =
-  List.map
-    (fun bench ->
+let versus ?pool ~arch () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let inputs =
+    Array.of_list
+      (List.concat_map
+         (fun bench ->
+           [
+             (bench, Policy.Power_aware Policy.Min_task_energy);
+             (bench, Policy.Thermal_aware);
+           ])
+         [ 0; 1; 2; 3 ])
+  in
+  let cells =
+    Pool.parallel_map ~chunk:1 pool
+      (fun (bench, policy) -> run_one ~arch ~policy ~bench)
+      inputs
+  in
+  List.init 4 (fun i ->
       {
-        bench = Benchmarks.descriptors.(bench).Benchmarks.bench_name;
-        power =
-          run_one ~arch ~policy:(Policy.Power_aware Policy.Min_task_energy) ~bench;
-        thermal = run_one ~arch ~policy:Policy.Thermal_aware ~bench;
+        bench = Benchmarks.descriptors.(i).Benchmarks.bench_name;
+        power = cells.(2 * i);
+        thermal = cells.((2 * i) + 1);
       })
-    [ 0; 1; 2; 3 ]
 
-let table2 () = versus ~arch:Cosynthesis ()
-let table3 () = versus ~arch:Platform ()
+let table2 ?pool () = versus ?pool ~arch:Cosynthesis ()
+let table3 ?pool () = versus ?pool ~arch:Platform ()
 
 type reduction = { d_max_temp : float; d_avg_temp : float }
 

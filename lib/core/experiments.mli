@@ -19,15 +19,18 @@ val run_one : arch:arch -> policy:Policy.t -> bench:int -> cell
 
 type table1_row = { bench : string; policy : Policy.t; cosynth : cell; platform : cell }
 
-val table1 : unit -> table1_row list
-(** 4 benchmarks x (baseline, h1, h2, h3), Table 1 order. *)
+val table1 : ?pool:Tats_util.Pool.t -> unit -> table1_row list
+(** 4 benchmarks x (baseline, h1, h2, h3), Table 1 order. Independent
+    cells are evaluated on [pool] (default: {!Tats_util.Pool.default});
+    cell values are pure, so the table is identical at any pool size. *)
 
 type versus_row = { bench : string; power : cell; thermal : cell }
 
-val table2 : unit -> versus_row list
-(** Power-aware (h3) vs thermal-aware on the co-synthesis architecture. *)
+val table2 : ?pool:Tats_util.Pool.t -> unit -> versus_row list
+(** Power-aware (h3) vs thermal-aware on the co-synthesis architecture.
+    Parallel over cells, like {!table1}. *)
 
-val table3 : unit -> versus_row list
+val table3 : ?pool:Tats_util.Pool.t -> unit -> versus_row list
 (** Same comparison on the platform architecture. *)
 
 type reduction = { d_max_temp : float; d_avg_temp : float }

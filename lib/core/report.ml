@@ -1,5 +1,27 @@
 module Metrics = Tats_sched.Metrics
 module Policy = Tats_sched.Policy
+module Pool = Tats_util.Pool
+
+let pool_stats (s : Pool.stats) =
+  let busy_total = Array.fold_left ( +. ) 0.0 s.Pool.busy in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Execution pool: %d job%s, %d batch%s, %d tasks, %d idle waits\n"
+       s.Pool.jobs
+       (if s.Pool.jobs = 1 then "" else "s")
+       s.Pool.batches
+       (if s.Pool.batches = 1 then "" else "es")
+       s.Pool.tasks s.Pool.waits);
+  Array.iteri
+    (fun i b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  domain %d%s  %8.3f s busy (%5.1f%%)\n" i
+           (if i = 0 then " (caller)" else "         ")
+           b
+           (if busy_total <= 0.0 then 0.0 else 100.0 *. b /. busy_total)))
+    s.Pool.busy;
+  Buffer.contents buf
 
 let cell_to_string (c : Metrics.row) =
   Printf.sprintf "%6.2f %7.2f %7.2f" c.Metrics.total_power c.Metrics.max_temp

@@ -7,6 +7,11 @@ val table3 : Experiments.versus_row list -> string
 
 val shape_checks : Experiments.shape_check list -> string
 
+val pool_stats : Tats_util.Pool.stats -> string
+(** Multi-line summary of a {!Tats_util.Pool} snapshot: pool size, batch /
+    task / wait counters, and per-domain busy time with its share of the
+    total (the [--stats] / bench view of parallel utilization). *)
+
 val versus_csv : Experiments.versus_row list -> string
 (** Header + one line per benchmark: measured power/max/avg for both
     approaches. *)

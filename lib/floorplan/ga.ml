@@ -1,4 +1,5 @@
 module Rng = Tats_util.Rng
+module Pool = Tats_util.Pool
 
 type params = {
   population : int;
@@ -107,7 +108,7 @@ let mutate rng expr =
           | Error _ -> tryswap i)));
   expr
 
-let run ?(params = default_params) ~seed ~blocks ~cost () =
+let run ?(params = default_params) ?pool ~seed ~blocks ~cost () =
   let { population; generations; crossover_rate; mutation_rate; tournament; elite } =
     params
   in
@@ -115,16 +116,25 @@ let run ?(params = default_params) ~seed ~blocks ~cost () =
   if elite >= population then invalid_arg "Ga.run: elite >= population";
   let n = Array.length blocks in
   if n = 0 then invalid_arg "Ga.run: no blocks";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let rng = Rng.create seed in
-  let evaluate expr =
-    let placement = Slicing.evaluate blocks expr in
-    (expr, placement, cost placement)
+  (* Fitness evaluation consumes no randomness, so only it fans out: every
+     generation first breeds its children sequentially (the RNG stream is
+     untouched by parallelism), then evaluates them on the pool. Results
+     land positionally, so the population array — and hence selection,
+     sorting and the whole run — is bit-identical at any pool size. *)
+  let evaluate_all exprs =
+    Pool.parallel_map pool
+      (fun expr ->
+        let placement = Slicing.evaluate blocks expr in
+        (expr, placement, cost placement))
+      exprs
   in
   let pop =
     ref
-      (Array.init population (fun i ->
-           if i = 0 then evaluate (Slicing.initial n)
-           else evaluate (Slicing.random rng n)))
+      (evaluate_all
+         (Array.init population (fun i ->
+              if i = 0 then Slicing.initial n else Slicing.random rng n)))
   in
   let by_cost (_, _, c1) (_, _, c2) = compare c1 c2 in
   Array.sort by_cost !pop;
@@ -140,21 +150,21 @@ let run ?(params = default_params) ~seed ~blocks ~cost () =
     e
   in
   for gen = 0 to generations - 1 do
+    let children =
+      Array.init (population - elite) (fun _ ->
+          let a = select () in
+          let child =
+            if Rng.float rng 1.0 < crossover_rate then crossover a (select ())
+            else Array.copy a
+          in
+          if Rng.float rng 1.0 < mutation_rate then mutate rng child else child)
+    in
+    let evaluated = evaluate_all children in
     let next = Array.make population !pop.(0) in
     for i = 0 to elite - 1 do
       next.(i) <- !pop.(i)
     done;
-    for i = elite to population - 1 do
-      let a = select () in
-      let child =
-        if Rng.float rng 1.0 < crossover_rate then crossover a (select ())
-        else Array.copy a
-      in
-      let child =
-        if Rng.float rng 1.0 < mutation_rate then mutate rng child else child
-      in
-      next.(i) <- evaluate child
-    done;
+    Array.blit evaluated 0 next elite (population - elite);
     Array.sort by_cost next;
     pop := next;
     let _, _, best_cost = !pop.(0) in

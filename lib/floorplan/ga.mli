@@ -29,10 +29,21 @@ type result = {
 
 val run :
   ?params:params ->
+  ?pool:Tats_util.Pool.t ->
   seed:int ->
   blocks:Block.t array ->
   cost:(Placement.t -> float) ->
   unit ->
   result
 (** Runs the GA. The initial population contains the canonical chain plus
-    random expressions. Deterministic for a fixed seed. *)
+    random expressions. Deterministic for a fixed seed.
+
+    Fitness evaluation runs on [pool] (default: {!Tats_util.Pool.default}).
+    Breeding — selection, crossover, mutation, everything that draws from
+    the seed's random stream — stays sequential; only the (randomness-free)
+    [Slicing.evaluate] + [cost] calls fan out, and their results return
+    positionally, so the run is bit-identical at any pool size. [cost]
+    must therefore be pure, or at least thread-safe and
+    schedule-independent: it is called concurrently from multiple domains.
+    The co-synthesis flow's thermal cost qualifies — it builds a fresh
+    private {!Tats_thermal.Hotspot} per evaluation. *)

@@ -11,6 +11,7 @@
 module Graph = Tats_taskgraph.Graph
 module Library = Tats_techlib.Library
 module Hotspot = Tats_thermal.Hotspot
+module Pool = Tats_util.Pool
 
 type sampler = {
   min_fraction : float; (** lower bound of actual/WCET, > 0 *)
@@ -33,6 +34,7 @@ type stats = {
 val analyze :
   ?sampler:sampler ->
   ?runs:int ->
+  ?pool:Pool.t ->
   seed:int ->
   lib:Library.t ->
   hotspot:Hotspot.t ->
@@ -42,5 +44,12 @@ val analyze :
     mapping and per-PE order, scales every task's duration by an
     independent uniform draw, recomputes start/finish by the list
     semantics (data readiness + PE order), and evaluates the steady-state
-    peak temperature under the run's average powers. Deterministic in
-    [seed]. *)
+    peak temperature under the run's average powers.
+
+    Replications are evaluated on [pool] (default: {!Pool.default}).
+    Deterministic in [seed] {e at any pool size}: every uniform draw is
+    made sequentially up front, in the order the sequential implementation
+    consumed them, and each replication's thermal query is stateless
+    ([~warm:false ~cache:false] — see {!Hotspot.inquire_with_leakage}), so
+    the returned statistics are bit-identical whether evaluated on 1
+    domain or 32. *)

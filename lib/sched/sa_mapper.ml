@@ -6,6 +6,7 @@ module Comm = Tats_techlib.Comm
 module Hotspot = Tats_thermal.Hotspot
 module Rng = Tats_util.Rng
 module Stats = Tats_util.Stats
+module Pool = Tats_util.Pool
 
 type objective = Makespan | Peak_temperature of Hotspot.t
 
@@ -102,15 +103,17 @@ let evaluate ~objective (s : Schedule.t) =
       let lateness = Float.max 0.0 (s.Schedule.makespan -. Graph.deadline s.Schedule.graph) in
       report.Metrics.max_temp +. (10.0 *. lateness)
 
-let run ?(params = default_params) ~seed ~objective ~graph ~lib ~pes () =
+let check_params params =
   if params.initial_temperature <= 0.0 || params.min_temperature <= 0.0 then
     invalid_arg "Sa_mapper.run: non-positive temperature";
   if params.cooling <= 0.0 || params.cooling >= 1.0 then
-    invalid_arg "Sa_mapper.run: cooling not in (0,1)";
+    invalid_arg "Sa_mapper.run: cooling not in (0,1)"
+
+(* One annealing chain from the baseline state, consuming [rng]. All
+   mutable state is chain-local, so chains with independent generators can
+   run on separate domains. *)
+let anneal ~params ~rng ~objective ~graph ~lib ~pes ~baseline =
   let n = Graph.n_tasks graph in
-  let rng = Rng.create seed in
-  (* Seed state: the baseline ASP's own mapping and start-time order. *)
-  let baseline = List_sched.run ~graph ~lib ~pes ~policy:Policy.Baseline () in
   let assignment =
     Array.map (fun (e : Schedule.entry) -> e.Schedule.pe) baseline.Schedule.entries
   in
@@ -171,4 +174,51 @@ let run ?(params = default_params) ~seed ~objective ~graph ~lib ~pes () =
     cost = !best_cost;
     moves_tried = !tried;
     moves_accepted = !accepted;
+  }
+
+(* Seed state: the baseline ASP's own mapping and start-time order. *)
+let baseline_schedule ~graph ~lib ~pes =
+  List_sched.run ~graph ~lib ~pes ~policy:Policy.Baseline ()
+
+let run ?(params = default_params) ~seed ~objective ~graph ~lib ~pes () =
+  check_params params;
+  let baseline = baseline_schedule ~graph ~lib ~pes in
+  anneal ~params ~rng:(Rng.create seed) ~objective ~graph ~lib ~pes ~baseline
+
+type restarts_result = {
+  best : result;
+  best_restart : int;
+  restart_costs : float array;
+}
+
+let run_restarts ?(params = default_params) ?pool ?(restarts = 4) ~seed
+    ~objective ~graph ~lib ~pes () =
+  check_params params;
+  if restarts < 1 then invalid_arg "Sa_mapper.run_restarts: need >= 1 restart";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let baseline = baseline_schedule ~graph ~lib ~pes in
+  (* Restart 0 replays [run ~seed] exactly; restart i > 0 anneals with the
+     derived generator for (seed, i). Chains are fully independent, so they
+     fan out as pool tasks; the thermal facade of [Peak_temperature] is
+     thread-safe and its cache value-exact, so shared use stays
+     deterministic. *)
+  (match objective with
+  | Peak_temperature h -> ignore (Hotspot.inquiry h)
+  | Makespan -> ());
+  let results =
+    Pool.parallel_mapi ~chunk:1 pool
+      (fun i () ->
+        let rng = if i = 0 then Rng.create seed else Rng.derive seed i in
+        anneal ~params ~rng ~objective ~graph ~lib ~pes ~baseline)
+      (Array.make restarts ())
+  in
+  let best_restart = ref 0 in
+  Array.iteri
+    (fun i (r : result) ->
+      if r.cost < results.(!best_restart).cost then best_restart := i)
+    results;
+  {
+    best = results.(!best_restart);
+    best_restart = !best_restart;
+    restart_costs = Array.map (fun (r : result) -> r.cost) results;
   }

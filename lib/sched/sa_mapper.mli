@@ -58,3 +58,29 @@ val run :
 (** Deterministic for a fixed seed. The initial state is the ASP baseline
     schedule's own mapping, so the result is never worse than a decoded
     baseline. *)
+
+type restarts_result = {
+  best : result;  (** the winning chain's result *)
+  best_restart : int;  (** its restart index *)
+  restart_costs : float array;  (** final cost of every chain, by index *)
+}
+
+val run_restarts :
+  ?params:params ->
+  ?pool:Tats_util.Pool.t ->
+  ?restarts:int ->
+  seed:int ->
+  objective:objective ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  pes:Pe.inst array ->
+  unit ->
+  restarts_result
+(** Multi-start annealing: [restarts] (default 4) independent chains from
+    the same baseline state, run on [pool] (default:
+    {!Tats_util.Pool.default}). Chain 0 uses [Rng.create seed] and replays
+    {!run} with that seed bit-for-bit; chain [i > 0] uses the derived
+    generator {!Tats_util.Rng.derive}[ seed i]. Each chain is
+    self-contained, so the whole search is deterministic in
+    [(seed, restarts)] at any pool size; the best chain wins, ties broken
+    by lowest restart index. *)

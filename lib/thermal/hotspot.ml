@@ -7,6 +7,9 @@ type t = {
   solver : Steady.t;
   mutable inquiries : int;
   mutable engine : Inquiry.t option;
+  (* Guards [inquiries] and the lazy [engine] slot when the facade is
+     shared across pool domains. *)
+  lock : Mutex.t;
 }
 
 let create ?(package = Package.default) placement =
@@ -18,6 +21,7 @@ let create ?(package = Package.default) placement =
     solver = Steady.create model;
     inquiries = 0;
     engine = None;
+    lock = Mutex.create ();
   }
 
 let n_blocks t = Rcmodel.n_blocks t.model
@@ -26,33 +30,46 @@ let placement t = t.placement
 let model t = t.model
 let solver t = t.solver
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 (* The engine costs n_blocks factored solves to build, so it is created on
-   first use — facades that only ever serve direct queries never pay. *)
+   first use — facades that only ever serve direct queries never pay. The
+   lock makes the lazy creation race-free: exactly one engine is ever
+   built, and concurrent callers all see it. *)
 let inquiry t =
-  match t.engine with
-  | Some e -> e
-  | None ->
-      let e = Inquiry.create t.solver in
-      t.engine <- Some e;
-      e
+  locked t (fun () ->
+      match t.engine with
+      | Some e -> e
+      | None ->
+          let e = Inquiry.create t.solver in
+          t.engine <- Some e;
+          e)
+
+let engine_opt t = locked t (fun () -> t.engine)
 
 let inquiry_stats t =
-  match t.engine with None -> Inquiry.empty_stats | Some e -> Inquiry.stats e
+  match engine_opt t with None -> Inquiry.empty_stats | Some e -> Inquiry.stats e
 
 let inquiries t =
-  t.inquiries
-  + match t.engine with None -> 0 | Some e -> (Inquiry.stats e).Inquiry.inquiries
+  locked t (fun () -> t.inquiries)
+  + match engine_opt t with
+    | None -> 0
+    | Some e -> (Inquiry.stats e).Inquiry.inquiries
+
+let count_direct t = locked t (fun () -> t.inquiries <- t.inquiries + 1)
 
 let query t ~power =
-  t.inquiries <- t.inquiries + 1;
+  count_direct t;
   Steady.block_temperatures t.solver ~power
 
 let query_with_leakage t ~dynamic ~idle =
-  t.inquiries <- t.inquiries + 1;
+  count_direct t;
   fst (Steady.solve_with_leakage t.solver ~dynamic ~idle)
 
-let inquire_with_leakage ?warm t ~dynamic ~idle =
-  Inquiry.query_with_leakage ?warm (inquiry t) ~dynamic ~idle
+let inquire_with_leakage ?warm ?cache t ~dynamic ~idle =
+  Inquiry.query_with_leakage ?warm ?cache (inquiry t) ~dynamic ~idle
 
 let average_temperature t ~power = Tats_util.Stats.mean (query t ~power)
 let peak_temperature t ~power = Tats_util.Stats.max (query t ~power)

@@ -24,10 +24,19 @@ val query_with_leakage : t -> dynamic:float array -> idle:float array -> float a
     back-substitution per fixed-point iteration. *)
 
 val inquire_with_leakage :
-  ?warm:bool -> t -> dynamic:float array -> idle:float array -> float array
+  ?warm:bool ->
+  ?cache:bool ->
+  t ->
+  dynamic:float array ->
+  idle:float array ->
+  float array
 (** Same query served by the {!Inquiry} engine: influence-matrix solves, a
     quantized-power cache, optional warm start — the production hot path.
-    Matches {!query_with_leakage} within floating-point noise. *)
+    Matches {!query_with_leakage} within floating-point noise. [warm] and
+    [cache] as in {!Inquiry.query_with_leakage}; parallel callers that
+    need bit-reproducible results use [~warm:false ~cache:false]. The
+    facade itself is thread-safe (lazy engine creation and the inquiry
+    counter are mutex-guarded). *)
 
 val inquiry : t -> Inquiry.t
 (** The facade's inquiry engine, built (n_blocks factored solves) on first

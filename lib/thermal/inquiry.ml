@@ -65,11 +65,17 @@ let reset_counters c =
 
 (* Fleet-wide counters, accumulated across every engine instance — the
    bench harness creates hundreds of short-lived hotspots during table
-   regeneration and wants one aggregate. *)
+   regeneration and wants one aggregate. Engines are created and queried
+   from pool worker domains, so the aggregate has its own lock. *)
 let global = fresh_counters ()
+let global_lock = Mutex.create ()
 
-let global_stats () = snapshot global
-let reset_global_stats () = reset_counters global
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let global_stats () = locked global_lock (fun () -> snapshot global)
+let reset_global_stats () = locked global_lock (fun () -> reset_counters global)
 
 let pp_stats ppf s =
   Format.fprintf ppf
@@ -93,6 +99,10 @@ type t = {
   cache : (int64 array, float array * int) Hashtbl.t;
   counters : counters;
   mutable warm : float array option;
+  (* Guards [cache], [warm] and [counters]; the influence matrix itself is
+     immutable after [create], so concurrent solves never take the lock
+     while number-crunching. *)
+  lock : Mutex.t;
 }
 
 let default_max_iter = 200
@@ -119,7 +129,8 @@ let create solver =
         let full = Lu.unit_solution factored j in
         Array.sub full 0 n)
   in
-  global.c_factored_solves <- global.c_factored_solves + n;
+  locked global_lock (fun () ->
+      global.c_factored_solves <- global.c_factored_solves + n);
   let counters = fresh_counters () in
   counters.c_factored_solves <- n;
   {
@@ -130,6 +141,7 @@ let create solver =
     cache = Hashtbl.create 256;
     counters;
     warm = None;
+    lock = Mutex.create ();
   }
 
 let solver t = t.solver
@@ -140,8 +152,8 @@ let influence_column t j =
   if j < 0 || j >= t.n then invalid_arg "Inquiry.influence_column: out of range";
   Array.copy t.cols.(j)
 
-let stats t = snapshot t.counters
-let reset_stats t = reset_counters t.counters
+let stats t = locked t.lock (fun () -> snapshot t.counters)
+let reset_stats t = locked t.lock (fun () -> reset_counters t.counters)
 
 (* ambient + M.p, written into [dst] — the engine's replacement for a
    factored back-substitution. *)
@@ -164,21 +176,28 @@ let temperatures t ~power =
   apply t power dst;
   dst
 
+(* Both counter records live behind locks; the closure is applied to each
+   under its own lock, so bumps from concurrent pool workers never tear. *)
 let bump t f =
-  f t.counters;
-  f global
+  locked t.lock (fun () -> f t.counters);
+  locked global_lock (fun () -> f global)
 
-let run_query ?(max_iter = default_max_iter) ?(tol = default_tol) ?init t
-    ~dynamic ~idle =
+let run_query ?(max_iter = default_max_iter) ?(tol = default_tol)
+    ?(cache = true) ?init t ~dynamic ~idle =
   if Array.length dynamic <> t.n || Array.length idle <> t.n then
     invalid_arg "Inquiry.query_with_leakage: bad vector length";
   let t0 = Sys.time () in
   bump t (fun c -> c.c_inquiries <- c.c_inquiries + 1);
   (* Cached results were produced with the default convergence settings;
-     bypass the cache when the caller overrides them. *)
-  let cacheable = max_iter = default_max_iter && tol = default_tol in
+     bypass the cache when the caller overrides them, or asks for a
+     stateless query outright. *)
+  let cacheable = cache && max_iter = default_max_iter && tol = default_tol in
   let key = if cacheable then Some (cache_key ~dynamic ~idle) else None in
-  let cached = match key with None -> None | Some k -> Hashtbl.find_opt t.cache k in
+  let cached =
+    match key with
+    | None -> None
+    | Some k -> locked t.lock (fun () -> Hashtbl.find_opt t.cache k)
+  in
   let temps =
     match cached with
     | Some (temps, iters) ->
@@ -189,6 +208,8 @@ let run_query ?(max_iter = default_max_iter) ?(tol = default_tol) ?init t
             c.c_dense_solves <- c.c_dense_solves + 1 + iters);
         Array.copy temps
     | None ->
+        (* The fixed point itself runs without any lock: it only reads the
+           immutable influence matrix and writes caller-local buffers. *)
         let temps, iters =
           Steady.fixed_point ~max_iter ~tol ?init
             ~package:(package t)
@@ -199,19 +220,20 @@ let run_query ?(max_iter = default_max_iter) ?(tol = default_tol) ?init t
             c.c_dense_solves <- c.c_dense_solves + 1 + iters);
         (match key with
         | Some k ->
-            if Hashtbl.length t.cache >= max_cache_entries then
-              Hashtbl.reset t.cache;
-            Hashtbl.replace t.cache k (Array.copy temps, iters)
+            locked t.lock (fun () ->
+                if Hashtbl.length t.cache >= max_cache_entries then
+                  Hashtbl.reset t.cache;
+                Hashtbl.replace t.cache k (Array.copy temps, iters);
+                t.warm <- Some (Array.copy temps))
         | None -> ());
-        t.warm <- Some (Array.copy temps);
         temps
   in
   bump t (fun c -> c.c_wall_time <- c.c_wall_time +. (Sys.time () -. t0));
   temps
 
-let query_with_leakage ?max_iter ?tol ?(warm = false) t ~dynamic ~idle =
-  let init = if warm then t.warm else None in
-  run_query ?max_iter ?tol ?init t ~dynamic ~idle
+let query_with_leakage ?max_iter ?tol ?(warm = false) ?cache t ~dynamic ~idle =
+  let init = if warm then locked t.lock (fun () -> t.warm) else None in
+  run_query ?max_iter ?tol ?cache ?init t ~dynamic ~idle
 
 let base_response t ~power =
   if Array.length power <> t.n then

@@ -22,7 +22,27 @@
     repeated inquiries — ubiquitous under [List_sched.run_adaptive]'s
     bisection, which re-schedules the same prefixes over and over — are
     served from the cache. Hit/miss, fixed-point-iteration, factored-solve
-    and wall-time counters are kept per engine and globally. *)
+    and wall-time counters are kept per engine and globally.
+
+    {1 Thread safety}
+
+    One engine may be queried concurrently from multiple {!Tats_util.Pool}
+    worker domains. The influence matrix is immutable after {!create};
+    the mutable state — the inquiry cache, the warm-start vector and both
+    counter records — sits behind mutexes (one per engine, one for the
+    global aggregate), taken only around cache lookups/inserts and counter
+    bumps, never around a fixed-point solve. Two caveats matter for
+    deterministic parallel use:
+
+    - [~warm:true] reads a warm-start vector that concurrent queries race
+      to write, so the iteration path (and the result, within [tol])
+      depends on scheduling. Deterministic parallel callers must use the
+      default [~warm:false].
+    - The cache itself is value-safe (a hit returns a bit-exact copy of
+      what a fresh solve would produce under default settings), but
+      cache-dependent {e counters} become schedule-dependent. Callers that
+      assert exact counter values, or want queries with zero shared-state
+      traffic, pass [~cache:false] for a fully stateless query. *)
 
 type t
 
@@ -63,16 +83,23 @@ val query_with_leakage :
   ?max_iter:int ->
   ?tol:float ->
   ?warm:bool ->
+  ?cache:bool ->
   t ->
   dynamic:float array ->
   idle:float array ->
   float array
 (** Drop-in fast path for {!Steady.solve_with_leakage} (same damping, same
-    convergence test, influence-matrix inner solves). [warm] seeds the
-    fixed point from this engine's previous converged solution when one
-    exists — fewer iterations for a stream of similar inquiries, at the
-    price of a (bounded by [tol]) different iteration path. Results are
-    cached; non-default [max_iter]/[tol] bypass the cache. *)
+    convergence test, influence-matrix inner solves). [warm] (default
+    [false]) seeds the fixed point from this engine's previous converged
+    solution when one exists — fewer iterations for a stream of similar
+    inquiries, at the price of a (bounded by [tol]) different iteration
+    path. Results are cached; non-default [max_iter]/[tol] bypass the
+    cache, as does [~cache:false], which additionally skips the cache
+    insert and the warm-start store: with [~warm:false ~cache:false] the
+    query is fully stateless (counters aside) and its result a pure
+    function of the engine's influence matrix and the power vectors — the
+    mode parallel Monte-Carlo uses for bit-reproducibility at any domain
+    count. *)
 
 type base
 (** A per-scheduling-step precomputation: the influence response of a fixed

@@ -1,0 +1,296 @@
+(* A fixed-size domain pool over a Mutex/Condition FIFO queue.
+
+   Design notes, in decreasing order of importance:
+
+   - Determinism: results are written positionally into a pre-sized array,
+     the fold of parallel_for_reduce runs in index order after the barrier,
+     and on failure the recorded exception is the one from the lowest task
+     index. Nothing observable depends on which domain ran what.
+
+   - The submitting domain is a worker too: after enqueueing its batch it
+     drains the same queue until the batch completes, so a pool of size 1
+     never spawns a domain and [jobs] means "domains doing work", not
+     "domains doing work plus one coordinator doing nothing".
+
+   - Nested parallel_map calls (a task submitting a batch to any pool) run
+     inline on the current domain, detected through a domain-local flag.
+     This cannot deadlock and keeps the determinism contract trivially. *)
+
+type batch = {
+  mutable remaining : int; (* queued tasks not yet finished *)
+  mutable failed : (int * exn) option; (* lowest failing index wins *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* workers sleep here when the queue is empty *)
+  finished : Condition.t; (* submitters sleep here when their batch is out *)
+  queue : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+  (* counters, all guarded by [mutex] *)
+  mutable c_batches : int;
+  mutable c_tasks : int;
+  mutable c_waits : int;
+  busy : float array;
+}
+
+type stats = {
+  jobs : int;
+  batches : int;
+  tasks : int;
+  waits : int;
+  busy : float array;
+}
+
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let now = Unix.gettimeofday
+
+(* Run one queued task on this domain with the nested-call flag set; tasks
+   are pre-wrapped and never raise. Returns the wall time spent. *)
+let run_task task =
+  let t0 = now () in
+  Domain.DLS.set in_task true;
+  task ();
+  Domain.DLS.set in_task false;
+  now () -. t0
+
+let worker_loop t slot =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if not t.live then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          let dt = run_task task in
+          Mutex.lock t.mutex;
+          t.busy.(slot) <- t.busy.(slot) +. dt;
+          loop ()
+      | None ->
+          t.c_waits <- t.c_waits + 1;
+          Condition.wait t.work t.mutex;
+          loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs =
+    match jobs with
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+    | Some j -> Stdlib.min 128 (Stdlib.max 1 j)
+  in
+  let t =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [||];
+      c_batches = 0;
+      c_tasks = 0;
+      c_waits = 0;
+      busy = Array.make n_jobs 0.0;
+    }
+  in
+  t.workers <-
+    Array.init (n_jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.live then begin
+    t.live <- false;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      jobs = t.n_jobs;
+      batches = t.c_batches;
+      tasks = t.c_tasks;
+      waits = t.c_waits;
+      busy = Array.copy t.busy;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.c_batches <- 0;
+  t.c_tasks <- 0;
+  t.c_waits <- 0;
+  Array.fill t.busy 0 (Array.length t.busy) 0.0;
+  Mutex.unlock t.mutex
+
+let pp_stats ppf s =
+  Format.fprintf ppf "jobs %d, batches %d, tasks %d, waits %d, busy [" s.jobs
+    s.batches s.tasks s.waits;
+  Array.iteri
+    (fun i b -> Format.fprintf ppf "%s%.3fs" (if i = 0 then "" else " ") b)
+    s.busy;
+  Format.fprintf ppf "]"
+
+(* The workhorse. [f] is applied as [f i xs.(i)] and results land in slot
+   [i]; everything else is scheduling. *)
+let parallel_mapi ?chunk t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let inline_run () =
+      (* Inline path: plain sequential mapi, accounted as one batch on the
+         submitting domain. Used for tiny batches, single-job pools, shut
+         pools, and nested calls (where the accounting is skipped: the
+         enclosing task's runner is already charging this time). *)
+      let nested = Domain.DLS.get in_task in
+      let t0 = now () in
+      let r = Array.mapi f xs in
+      if not nested then begin
+        Mutex.lock t.mutex;
+        t.c_batches <- t.c_batches + 1;
+        t.c_tasks <- t.c_tasks + n;
+        t.busy.(0) <- t.busy.(0) +. (now () -. t0);
+        Mutex.unlock t.mutex
+      end;
+      r
+    in
+    if t.n_jobs = 1 || n = 1 || (not t.live) || Domain.DLS.get in_task then
+      inline_run ()
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> Stdlib.max 1 c
+        | None -> Stdlib.max 1 (n / (8 * t.n_jobs))
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let results = Array.make n None in
+      let batch = { remaining = n_chunks; failed = None } in
+      let task c () =
+        let lo = c * chunk in
+        let hi = Stdlib.min (n - 1) (lo + chunk - 1) in
+        let rec go i =
+          if i > hi then None
+          else
+            match f i xs.(i) with
+            | v ->
+                results.(i) <- Some v;
+                go (i + 1)
+            | exception e -> Some (i, e)
+        in
+        let failure = go lo in
+        Mutex.lock t.mutex;
+        t.c_tasks <- t.c_tasks + (hi - lo + 1);
+        (match failure with
+        | Some (i, _) -> (
+            match batch.failed with
+            | Some (j, _) when j <= i -> ()
+            | Some _ | None -> batch.failed <- failure)
+        | None -> ());
+        batch.remaining <- batch.remaining - 1;
+        if batch.remaining = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      t.c_batches <- t.c_batches + 1;
+      for c = 0 to n_chunks - 1 do
+        Queue.add (task c) t.queue
+      done;
+      Condition.broadcast t.work;
+      (* The submitting domain drains the queue too (slot 0). When the
+         queue is empty but the batch is still in flight on other domains,
+         it sleeps until the last task signals. *)
+      let rec drain () =
+        if batch.remaining = 0 then Mutex.unlock t.mutex
+        else
+          match Queue.take_opt t.queue with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              let dt = run_task task in
+              Mutex.lock t.mutex;
+              t.busy.(0) <- t.busy.(0) +. dt;
+              drain ()
+          | None ->
+              Condition.wait t.finished t.mutex;
+              drain ()
+      in
+      drain ();
+      (match batch.failed with Some (_, e) -> raise e | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  end
+
+let parallel_map ?chunk t f xs = parallel_mapi ?chunk t (fun _ x -> f x) xs
+
+let parallel_for_reduce ?chunk t ~n ~init ~combine body =
+  if n < 0 then invalid_arg "Pool.parallel_for_reduce: negative n";
+  let values = parallel_mapi ?chunk t (fun i () -> body i) (Array.make n ()) in
+  Array.fold_left combine init values
+
+(* --- the process-wide default pool ------------------------------------- *)
+
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+let requested_jobs = ref None
+
+let default_jobs () =
+  Mutex.lock default_mutex;
+  let j =
+    match !requested_jobs with
+    | Some j -> j
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+  in
+  Mutex.unlock default_mutex;
+  j
+
+let set_default_jobs j =
+  let j = Stdlib.min 128 (Stdlib.max 1 j) in
+  Mutex.lock default_mutex;
+  requested_jobs := Some j;
+  let stale =
+    match !default_pool with
+    | Some p when p.n_jobs <> j ->
+        default_pool := None;
+        Some p
+    | Some _ | None -> None
+  in
+  Mutex.unlock default_mutex;
+  match stale with Some p -> shutdown p | None -> ()
+
+let () =
+  (* Worker domains must be joined before the process can exit. *)
+  at_exit (fun () ->
+      Mutex.lock default_mutex;
+      let p = !default_pool in
+      default_pool := None;
+      Mutex.unlock default_mutex;
+      match p with Some p -> shutdown p | None -> ())
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ?jobs:!requested_jobs () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p

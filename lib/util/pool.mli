@@ -1,0 +1,139 @@
+(** Fixed-size domain pool for embarrassingly parallel outer loops.
+
+    The repo's stochastic workloads — Monte-Carlo replications, GA
+    floorplan fitness evaluation, SA mapper restarts, benchmark sweeps —
+    are independent task batches over pure functions. This pool runs such
+    batches across OCaml 5 domains with a plain [Mutex]/[Condition] work
+    queue: no new dependencies, no effects, no work stealing beyond the
+    submitting domain draining the shared queue alongside the workers.
+
+    {1 Determinism contract}
+
+    Parallelism here is {e observation-free}: for a pure task function,
+    {!parallel_map} and {!parallel_for_reduce} return results that are
+    bit-identical at any domain count, including [jobs = 1].
+
+    - Results are delivered {e positionally}: slot [i] of the output always
+      holds [f xs.(i)], whatever domain computed it and in whatever order
+      tasks finished.
+    - {!parallel_for_reduce} folds the per-index results in index order
+      after the parallel phase, so non-commutative [combine] functions are
+      safe.
+    - Nothing random is introduced by the pool itself. Callers that need
+      per-task randomness must derive one generator per task index from a
+      master seed ({!Rng.derive}) {e before} submitting, never share one
+      mutable generator across tasks; with that discipline the random
+      stream consumed by task [i] is a pure function of [(seed, i)] and the
+      whole batch is reproducible at any [jobs].
+    - On exception, the batch still runs to completion and the exception
+      re-raised in the caller is the one thrown by the {e lowest} failing
+      task index — again independent of scheduling.
+
+    Task functions must be thread-safe: they run concurrently on multiple
+    domains. Pure functions over immutable (or task-local) data qualify;
+    shared mutable caches need their own locking (see {!Tats_thermal.Inquiry}
+    for the pattern used by the thermal engine).
+
+    {1 Nesting}
+
+    A task that itself calls [parallel_map] on any pool does not deadlock:
+    nested calls detect that they already run inside a pool task and
+    degrade to inline sequential execution on the current domain. The
+    result is the same by the determinism contract; only the parallelism
+    is flattened. *)
+
+type t
+(** A pool of worker domains sharing one FIFO work queue. The pool owns
+    [jobs - 1] spawned domains; the domain calling {!parallel_map} is the
+    [jobs]-th worker for the duration of the call, so [jobs = 1] spawns no
+    domains at all and runs everything inline. *)
+
+type stats = {
+  jobs : int;  (** size of the pool, including the submitting domain *)
+  batches : int;  (** [parallel_map] / [parallel_for_reduce] calls served *)
+  tasks : int;  (** individual task-function applications executed *)
+  waits : int;  (** times a worker found the queue empty and slept *)
+  busy : float array;
+      (** wall-clock seconds spent inside task bodies, per domain; slot [0]
+          is the submitting domain, slots [1 .. jobs - 1] the spawned
+          workers *)
+}
+(** Cumulative counters since {!create} (or the last {!reset_stats}). *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains. [jobs] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to [\[1, 128\]].
+    Pools are cheap but not free ([Domain.spawn] per worker): create one
+    and reuse it, or use the process-wide {!default} pool. *)
+
+val jobs : t -> int
+(** Pool size, including the submitting domain. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs] computed on up to
+    [jobs pool] domains. [chunk] is the number of consecutive indices
+    grouped into one queued task (default: enough to make roughly
+    [8 * jobs] tasks); larger chunks amortize queue traffic for cheap [f],
+    smaller chunks balance load for expensive [f]. The choice of [chunk]
+    never affects the result, only the schedule.
+
+    Runs inline (sequentially, on the calling domain) when the batch has
+    fewer than two tasks, when [jobs pool = 1], when the pool has been
+    {!shutdown}, or when called from inside another pool task. *)
+
+val parallel_mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [Array.mapi] counterpart of {!parallel_map}. *)
+
+val parallel_for_reduce :
+  ?chunk:int ->
+  t ->
+  n:int ->
+  init:'acc ->
+  combine:('acc -> 'a -> 'acc) ->
+  (int -> 'a) ->
+  'acc
+(** [parallel_for_reduce pool ~n ~init ~combine body] evaluates [body i]
+    for [i] in [\[0, n)] in parallel, then folds the results with
+    [combine] in index order: the exact sequential
+    [fold_left combine init [body 0; ...; body (n-1)]]. *)
+
+val stats : t -> stats
+(** Snapshot of the pool's counters (consistent: taken under the pool
+    lock). *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One compact line: jobs, batches, tasks, waits, and per-domain busy
+    seconds. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent. Must not be called
+    while a [parallel_map] on this pool is in flight. After shutdown the
+    pool remains usable: batches simply run inline on the calling
+    domain. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, even if [f] raises. *)
+
+(** {1 The process-wide default pool}
+
+    Library entry points with a [?pool] parameter fall back to this shared
+    pool, so a single [--jobs N] flag at the CLI/bench level parallelizes
+    every workload underneath without threading a pool through each
+    call. *)
+
+val default : unit -> t
+(** The shared pool, created on first use with {!default_jobs} workers
+    and shut down automatically at process exit. *)
+
+val set_default_jobs : int -> unit
+(** Sets the size used by {!default}. If the default pool already exists
+    at a different size it is shut down and recreated on next use. The
+    [--jobs] flags of [tats] and [bench/main.exe] call this. *)
+
+val default_jobs : unit -> int
+(** The size {!default} has, or will be created with:
+    the last {!set_default_jobs} value, else
+    [Domain.recommended_domain_count ()]. *)

@@ -19,6 +19,17 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+let derive seed index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  (* Pure in (seed, index): land each task on its own well-separated point
+     of the SplitMix64 sequence, then scramble so neighbouring indices are
+     decorrelated. Unlike [split], no generator is advanced. *)
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  { state = mix z }
+
 let int t bound =
   assert (bound > 0);
   (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)

@@ -17,6 +17,15 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     decorrelated from [t]'s subsequent output. *)
 
+val derive : int -> int -> t
+(** [derive seed index] is an independent generator for task [index] of a
+    parallel batch seeded with [seed]: a pure function of its two
+    arguments, with streams decorrelated across indices. This is the seed
+    splitting the {!Pool} determinism contract prescribes — because no
+    shared generator is advanced, the stream task [index] consumes does not
+    depend on how many domains run the batch or in which order tasks
+    finish. [index] must be non-negative. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
