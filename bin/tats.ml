@@ -36,6 +36,45 @@ let jobs_arg =
 
 let set_jobs = function Some j -> Core.Pool.set_default_jobs j | None -> ()
 
+let trace_arg =
+  let doc =
+    "Record a Chrome trace_event timeline of the run and write it to \
+     $(docv) — load it in chrome://tracing or Perfetto. Spans cover \
+     co-synthesis iterations, scheduler steps, thermal inquiry solves and \
+     pool tasks; with the flag absent the instrumentation is disabled and \
+     outputs are bit-identical."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the process metrics registry — counters (inquiry cache \
+     hits/misses, scheduler steps, LU/CG solves), gauges and latency \
+     histograms with p50/p95/p99 — to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Bracket a subcommand body with trace recording and exporter writes.
+   The exports run in a [Fun.protect] finalizer so a failing run still
+   leaves whatever was recorded on disk. *)
+let with_observability ~trace ~metrics f =
+  (match trace with Some _ -> Core.Trace.start () | None -> ());
+  let finish () =
+    (match trace with
+    | Some path ->
+        Core.Trace.stop ();
+        Core.Trace.export_chrome path;
+        Format.eprintf "tats: wrote %d spans to %s@." (Core.Trace.span_count ())
+          path
+    | None -> ());
+    match metrics with
+    | Some path ->
+        Core.Metricsreg.export path;
+        Format.eprintf "tats: wrote metrics to %s@." path
+    | None -> ()
+  in
+  Fun.protect ~finally:finish f
+
 let parse_bench name =
   match name with
   | "Bm1" -> Ok 0
@@ -58,8 +97,9 @@ let or_die = function
 (* --- table commands ----------------------------------------------------- *)
 
 let table1_cmd =
-  let run csv jobs =
+  let run csv jobs trace metrics =
     set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let rows = Core.Experiments.table1 () in
     print_string
       (if csv then Core.Report.table1_csv rows else Core.Report.table1 rows)
@@ -67,15 +107,17 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Regenerate Table 1 (power heuristics on both architectures).")
-    Term.(const run $ csv_arg $ jobs_arg)
+    Term.(const run $ csv_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let versus_cmd name doc compute render render_csv =
-  let run csv jobs =
+  let run csv jobs trace metrics =
     set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let rows = compute () in
     print_string (if csv then render_csv rows else render rows)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_arg $ jobs_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ csv_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let table2_cmd =
   versus_cmd "table2"
@@ -90,25 +132,32 @@ let table3_cmd =
     Core.Report.table3 Core.Report.versus_csv
 
 let checks_cmd =
-  let run jobs =
+  let run jobs trace metrics =
     set_jobs jobs;
-    let table1 = Core.Experiments.table1 () in
-    let table2 = Core.Experiments.table2 () in
-    let table3 = Core.Experiments.table3 () in
-    let checks = Core.Experiments.shape_checks ~table1 ~table2 ~table3 in
-    print_string (Core.Report.shape_checks checks);
-    if List.for_all (fun c -> c.Core.Experiments.holds) checks then exit 0 else exit 1
+    (* [exit] bypasses [Fun.protect] finalizers, so the exporters must run
+       before the exit-code decision. *)
+    let ok =
+      with_observability ~trace ~metrics @@ fun () ->
+      let table1 = Core.Experiments.table1 () in
+      let table2 = Core.Experiments.table2 () in
+      let table3 = Core.Experiments.table3 () in
+      let checks = Core.Experiments.shape_checks ~table1 ~table2 ~table3 in
+      print_string (Core.Report.shape_checks checks);
+      List.for_all (fun c -> c.Core.Experiments.holds) checks
+    in
+    if ok then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "checks"
        ~doc:"Run every table and verify the reproduction's shape criteria.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- schedule ----------------------------------------------------------- *)
 
 let schedule_cmd =
-  let run bench policy arch gantt stats svg floorplan_svg jobs =
+  let run bench policy arch gantt stats svg floorplan_svg jobs trace metrics =
     set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let bench = or_die (parse_bench bench) in
     let policy = or_die (parse_policy policy) in
     let graph = Core.Benchmarks.load bench in
@@ -174,7 +223,7 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run one benchmark/policy/architecture combination.")
     Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ stats_arg
-          $ svg_arg $ fp_svg_arg $ jobs_arg)
+          $ svg_arg $ fp_svg_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- thermal ------------------------------------------------------------ *)
 
@@ -244,8 +293,9 @@ let thermal_cmd =
 (* --- floorplan ---------------------------------------------------------- *)
 
 let floorplan_cmd =
-  let run n seed svg jobs =
+  let run n seed svg jobs trace metrics =
     set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let rng = Core.Rng.create seed in
     let blocks =
       Array.init n (fun i ->
@@ -282,13 +332,15 @@ let floorplan_cmd =
   in
   Cmd.v
     (Cmd.info "floorplan" ~doc:"Run the GA floorplanner on random blocks.")
-    Term.(const run $ n_arg $ seed_arg $ svg_arg $ jobs_arg)
+    Term.(const run $ n_arg $ seed_arg $ svg_arg $ jobs_arg $ trace_arg
+          $ metrics_arg)
 
 (* --- compare ------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run bench restarts jobs =
+  let run bench restarts jobs trace metrics =
     set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let bench = or_die (parse_bench bench) in
     if restarts < 1 then or_die (Error "--restarts must be >= 1");
     let graph = Core.Benchmarks.load bench in
@@ -335,7 +387,8 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the ASP against HEFT and the SA mapper.")
-    Term.(const run $ bench_arg $ restarts_arg $ jobs_arg)
+    Term.(const run $ bench_arg $ restarts_arg $ jobs_arg $ trace_arg
+          $ metrics_arg)
 
 (* --- dvs ---------------------------------------------------------------- *)
 

@@ -22,6 +22,8 @@
 module Rng = Tats_util.Rng
 module Stats = Tats_util.Stats
 module Pool = Tats_util.Pool
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
 module Matrix = Tats_linalg.Matrix
 module Lu = Tats_linalg.Lu
 module Sparse = Tats_linalg.Sparse

@@ -12,6 +12,10 @@ module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module List_sched = Tats_sched.List_sched
 module Metrics = Tats_sched.Metrics
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
+
+let m_iterations = Metricsreg.counter "flow.iterations"
 
 type stage = Allocation | Floorplanning | Scheduling | Thermal_extraction
 
@@ -101,6 +105,10 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?weights
   if Array.length (Library.kinds lib) <> 1 then
     invalid_arg "Flow.run_platform: the platform library must have one kind";
   if n_pes < 1 then invalid_arg "Flow.run_platform: need at least one PE";
+  Trace.with_span "flow.platform"
+    ~args:
+      [ ("pes", Trace.Int n_pes); ("policy", Trace.Str (Policy.name policy)) ]
+  @@ fun () ->
   let insts = Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0)) in
   let log = ref [] in
   let push stage detail = log := { stage; detail } :: !log in
@@ -131,11 +139,20 @@ let run_cosynthesis ?(package = Package.default) ?weights ?(leakage = true)
   if max_outer < 1 then invalid_arg "Flow.run_cosynthesis: max_outer < 1";
   let log = ref [] in
   let push stage detail = log := { stage; detail } :: !log in
+  Trace.with_span "flow.cosynthesis"
+    ~args:[ ("policy", Trace.Str (Policy.name policy)) ]
+  @@ fun () ->
   let rec attempt outer min_pes =
+    Metricsreg.incr m_iterations;
+    Trace.with_span "flow.iteration" ~args:[ ("outer", Trace.Int outer) ]
+    @@ fun () ->
     (* 1. Allocation. All policies share the baseline-ASP-driven selection
        (the paper's identical baseline/h2 rows show the policies shared an
        architecture); the DC policy then differentiates the assignment. *)
-    let alloc = Alloc.run ~max_pes ~min_pes ~graph ~lib () in
+    let alloc =
+      Trace.with_span "flow.alloc" (fun () ->
+          Alloc.run ~max_pes ~min_pes ~graph ~lib ())
+    in
     (* Thermal-aware co-synthesis buys one PE of headroom beyond bare
        feasibility: the adaptive thermal ASP converts that slack into lower
        power density — temperature is part of its objective, so trading a
@@ -164,6 +181,8 @@ let run_cosynthesis ?(package = Package.default) ?weights ?(leakage = true)
        and re-schedule on the improved placement — the Figure-1(a)
        interaction between the ASP and the floorplanner. *)
     let floorplan ~power_estimate ~round =
+      Trace.with_span "flow.floorplan" ~args:[ ("round", Trace.Int round) ]
+      @@ fun () ->
       let thermal =
         match policy with
         | Policy.Thermal_aware ->
@@ -213,8 +232,17 @@ let run_cosynthesis ?(package = Package.default) ?weights ?(leakage = true)
       (not (Schedule.meets_deadline schedule))
       && outer < max_outer
       && Array.length insts < max_pes
-    then attempt (outer + 1) (Array.length insts + 1)
+    then begin
+      (* The outcome attribute lands on the enclosing flow.iteration span:
+         why this iteration did not finalize. *)
+      Trace.add_attr "outcome" (Trace.Str "retry");
+      attempt (outer + 1) (Array.length insts + 1)
+    end
     else begin
+      Trace.add_attr "outcome"
+        (Trace.Str
+           (if Schedule.meets_deadline schedule then "deadline-met"
+            else "deadline-missed"));
       push Thermal_extraction (inquiry_detail hotspot);
       finalize ~leakage ~lib ~hotspot ~arch_cost:alloc.Alloc.total_cost ~outer
         ~log:!log schedule placement

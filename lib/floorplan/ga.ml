@@ -1,5 +1,9 @@
 module Rng = Tats_util.Rng
 module Pool = Tats_util.Pool
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
+
+let m_evaluations = Metricsreg.counter "ga.evaluations"
 
 type params = {
   population : int;
@@ -117,6 +121,10 @@ let run ?(params = default_params) ?pool ~seed ~blocks ~cost () =
   let n = Array.length blocks in
   if n = 0 then invalid_arg "Ga.run: no blocks";
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  Trace.with_span "ga.run"
+    ~args:
+      [ ("blocks", Trace.Int n); ("population", Trace.Int population) ]
+  @@ fun () ->
   let rng = Rng.create seed in
   (* Fitness evaluation consumes no randomness, so only it fans out: every
      generation first breeds its children sequentially (the RNG stream is
@@ -124,6 +132,7 @@ let run ?(params = default_params) ?pool ~seed ~blocks ~cost () =
      land positionally, so the population array — and hence selection,
      sorting and the whole run — is bit-identical at any pool size. *)
   let evaluate_all exprs =
+    Metricsreg.add m_evaluations (Array.length exprs);
     Pool.parallel_map pool
       (fun expr ->
         let placement = Slicing.evaluate blocks expr in
@@ -150,6 +159,8 @@ let run ?(params = default_params) ?pool ~seed ~blocks ~cost () =
     e
   in
   for gen = 0 to generations - 1 do
+    Trace.with_span "ga.generation" ~args:[ ("gen", Trace.Int gen) ]
+    @@ fun () ->
     let children =
       Array.init (population - elite) (fun _ ->
           let a = select () in

@@ -1,5 +1,7 @@
 module Rng = Tats_util.Rng
 
+let m_moves = Tats_util.Metricsreg.counter "sa.moves"
+
 type params = {
   initial_temperature : float;
   cooling : float;
@@ -102,6 +104,9 @@ let run ?(params = default_params) ~seed ~blocks ~cost () =
   if moves_per_temperature < 1 then invalid_arg "Sa.run: no moves per temperature";
   let n = Array.length blocks in
   if n = 0 then invalid_arg "Sa.run: no blocks";
+  Tats_util.Trace.with_span "sa.run"
+    ~args:[ ("blocks", Tats_util.Trace.Int n) ]
+  @@ fun () ->
   let rng = Rng.create seed in
   let evaluate expr = cost (Slicing.evaluate blocks expr) in
   let current = ref (Slicing.initial n) in
@@ -130,6 +135,7 @@ let run ?(params = default_params) ~seed ~blocks ~cost () =
     done;
     temperature := !temperature *. cooling
   done;
+  Tats_util.Metricsreg.add m_moves !tried;
   {
     best_expr = !best;
     best_placement = Slicing.evaluate blocks !best;

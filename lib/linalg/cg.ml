@@ -1,5 +1,8 @@
 type stats = { iterations : int; residual_norm : float }
 
+let m_solves = Tats_util.Metricsreg.counter "cg.solves"
+let h_iterations = Tats_util.Metricsreg.histogram "cg.iterations"
+
 let dot a b =
   let acc = ref 0.0 in
   Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
@@ -49,5 +52,7 @@ let solve ?x0 ?(tol = 1e-10) ?max_iter ?(jacobi = true) a b =
       loop (k + 1)
     end
   in
-  let stats = loop 0 in
+  let stats = Tats_util.Trace.with_span "cg.solve" (fun () -> loop 0) in
+  Tats_util.Metricsreg.incr m_solves;
+  Tats_util.Metricsreg.observe h_iterations (float_of_int stats.iterations);
   (x, stats)

@@ -6,8 +6,12 @@ type t = {
 
 exception Singular
 
+let m_factorizations = Tats_util.Metricsreg.counter "lu.factorizations"
+let m_solves = Tats_util.Metricsreg.counter "lu.solves"
+
 let factor a =
   if Matrix.rows a <> Matrix.cols a then invalid_arg "Lu.factor: not square";
+  Tats_util.Metricsreg.incr m_factorizations;
   let n = Matrix.rows a in
   let lu = Matrix.copy a in
   let perm = Array.init n (fun i -> i) in
@@ -49,6 +53,7 @@ let solve_factored_into { lu; perm; _ } ~b ~x =
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Lu.solve_factored_into: size mismatch";
   if b == x then invalid_arg "Lu.solve_factored_into: b and x must not alias";
+  Tats_util.Metricsreg.incr m_solves;
   for i = 0 to n - 1 do
     x.(i) <- b.(perm.(i))
   done;

@@ -65,6 +65,7 @@ let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
   if params.dt <= 0.0 || params.time_unit <= 0.0 then
     invalid_arg "Dtm.simulate: bad time parameters";
   if params.hysteresis < 0.0 then invalid_arg "Dtm.simulate: negative hysteresis";
+  Tats_util.Trace.with_span "dtm.simulate" @@ fun () ->
   let n_pes = Schedule.n_pes s in
   if Hotspot.n_blocks hotspot <> n_pes then
     invalid_arg "Dtm.simulate: hotspot must have one block per PE";

@@ -60,6 +60,9 @@ let latest_finish ~lib (s : Schedule.t) task =
 
 let reclaim ?(levels = default_levels) ~lib (s : Schedule.t) =
   if levels = [] then invalid_arg "Dvs.reclaim: no levels";
+  Tats_util.Trace.with_span "dvs.reclaim"
+    ~args:[ ("tasks", Tats_util.Trace.Int (Graph.n_tasks s.Schedule.graph)) ]
+  @@ fun () ->
   let sorted = List.sort (fun a b -> compare b.scale a.scale) levels in
   let fastest = List.hd sorted in
   if fastest.scale < 1.0 -. 1e-9 then

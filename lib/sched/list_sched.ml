@@ -5,6 +5,12 @@ module Library = Tats_techlib.Library
 module Comm = Tats_techlib.Comm
 module Hotspot = Tats_thermal.Hotspot
 module Inquiry = Tats_thermal.Inquiry
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
+
+let m_steps = Metricsreg.counter "sched.steps"
+let m_candidates = Metricsreg.counter "sched.candidates"
+let m_adaptive_attempts = Metricsreg.counter "sched.adaptive_attempts"
 
 exception Thermal_policy_needs_hotspot
 
@@ -51,6 +57,14 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
       if Hotspot.n_blocks h <> Array.length pes then
         invalid_arg "List_sched.run: hotspot must have one block per PE"
   | (Policy.Baseline | Policy.Power_aware _), _ -> ());
+  Trace.with_span "sched.run"
+    ~args:
+      [
+        ("policy", Trace.Str (Format.asprintf "%a" Policy.pp policy));
+        ("tasks", Trace.Int n);
+        ("pes", Trace.Int (Array.length pes));
+      ]
+  @@ fun () ->
   let comm = Library.comm lib in
   let sc = Dc.static_criticality lib graph in
   let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) pes in
@@ -79,6 +93,11 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
   in
   while st.n_scheduled < n do
     assert (not (Iset.is_empty !ready));
+    Metricsreg.incr m_steps;
+    Metricsreg.add m_candidates (Iset.cardinal !ready * Array.length pes);
+    Trace.with_span "sched.step"
+      ~args:[ ("ready", Trace.Int (Iset.cardinal !ready)) ]
+    @@ fun () ->
     (* One base solve per scheduling step: the influence response to the
        committed PE energies. Candidates below are delta-evaluated against
        it in O(n_blocks) each instead of re-solving from scratch. *)
@@ -169,6 +188,9 @@ let run_adaptive ?base_weights ?(max_multiplier = 400.0) ?(search_steps = 16)
     | None -> Policy.default_weights ~deadline:(Graph.deadline graph)
   in
   let attempt mult =
+    Metricsreg.incr m_adaptive_attempts;
+    Trace.with_span "sched.attempt" ~args:[ ("multiplier", Trace.Float mult) ]
+    @@ fun () ->
     let weights = { Policy.cost_weight = base.Policy.cost_weight *. mult } in
     (run ~weights ?hotspot ?exclusive ~graph ~lib ~pes ~policy (), weights)
   in

@@ -8,6 +8,8 @@ module Rng = Tats_util.Rng
 module Stats = Tats_util.Stats
 module Pool = Tats_util.Pool
 
+let m_runs = Tats_util.Metricsreg.counter "montecarlo.runs"
+
 type sampler = { min_fraction : float; max_fraction : float }
 
 let default_sampler = { min_fraction = 0.6; max_fraction = 1.0 }
@@ -88,6 +90,10 @@ let analyze ?(sampler = default_sampler) ?(runs = 200) ?pool ~seed ~lib
   if Hotspot.n_blocks hotspot <> Schedule.n_pes s then
     invalid_arg "Montecarlo.analyze: hotspot must have one block per PE";
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  Tats_util.Trace.with_span "montecarlo.analyze"
+    ~args:[ ("runs", Tats_util.Trace.Int runs) ]
+  @@ fun () ->
+  Tats_util.Metricsreg.add m_runs runs;
   let graph = s.Schedule.graph in
   let n = Graph.n_tasks graph in
   let rng = Rng.create seed in

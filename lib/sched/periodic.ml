@@ -88,6 +88,9 @@ let schedule ?(policy = Policy.Baseline) ?weights ?hotspot ~apps ~lib ~pes () =
     | Some w -> w
     | None -> Policy.default_weights ~deadline:hyper
   in
+  Tats_util.Trace.with_span "periodic.schedule"
+    ~args:[ ("jobs", Tats_util.Trace.Int n_jobs) ]
+  @@ fun () ->
   let comm = Library.comm lib in
   (* Static criticality per app (shared by all its instances). *)
   let sc = Array.map (fun app -> Dc.static_criticality lib app.graph) apps in

@@ -7,6 +7,10 @@ module Hotspot = Tats_thermal.Hotspot
 module Rng = Tats_util.Rng
 module Stats = Tats_util.Stats
 module Pool = Tats_util.Pool
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
+
+let m_moves = Metricsreg.counter "sa_mapper.moves"
 
 type objective = Makespan | Peak_temperature of Hotspot.t
 
@@ -113,6 +117,7 @@ let check_params params =
    mutable state is chain-local, so chains with independent generators can
    run on separate domains. *)
 let anneal ~params ~rng ~objective ~graph ~lib ~pes ~baseline =
+  Trace.with_span "sa_mapper.anneal" @@ fun () ->
   let n = Graph.n_tasks graph in
   let assignment =
     Array.map (fun (e : Schedule.entry) -> e.Schedule.pe) baseline.Schedule.entries
@@ -169,6 +174,7 @@ let anneal ~params ~rng ~objective ~graph ~lib ~pes ~baseline =
     done;
     temperature := !temperature *. params.cooling
   done;
+  Metricsreg.add m_moves !tried;
   {
     schedule = decode_state !best;
     cost = !best_cost;
@@ -195,6 +201,9 @@ let run_restarts ?(params = default_params) ?pool ?(restarts = 4) ~seed
     ~objective ~graph ~lib ~pes () =
   check_params params;
   if restarts < 1 then invalid_arg "Sa_mapper.run_restarts: need >= 1 restart";
+  Trace.with_span "sa_mapper.restarts"
+    ~args:[ ("restarts", Trace.Int restarts) ]
+  @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let baseline = baseline_schedule ~graph ~lib ~pes in
   (* Restart 0 replays [run ~seed] exactly; restart i > 0 anneals with the

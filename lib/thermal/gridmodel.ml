@@ -2,6 +2,11 @@ module Sparse = Tats_linalg.Sparse
 module Cg = Tats_linalg.Cg
 module Block = Tats_floorplan.Block
 module Placement = Tats_floorplan.Placement
+module Metricsreg = Tats_util.Metricsreg
+
+let m_solves = Metricsreg.counter "gridmodel.solves"
+let g_last_residual = Metricsreg.gauge "gridmodel.cg_residual"
+let h_cg_iterations = Metricsreg.histogram "gridmodel.cg_iterations"
 
 type t = {
   package : Package.t;
@@ -119,7 +124,10 @@ let node_temperatures t ~power =
     (fun b cells ->
       Array.iter (fun (cell, frac) -> rhs.(cell) <- rhs.(cell) +. (power.(b) *. frac)) cells)
     t.coverage;
-  let x, _stats = Cg.solve ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs in
+  let x, stats = Cg.solve ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs in
+  Metricsreg.incr m_solves;
+  Metricsreg.set_gauge g_last_residual stats.Cg.residual_norm;
+  Metricsreg.observe h_cg_iterations (float_of_int stats.Cg.iterations);
   x
 
 let block_temperatures t ~power =

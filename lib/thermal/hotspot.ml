@@ -1,4 +1,9 @@
 module Placement = Tats_floorplan.Placement
+module Metricsreg = Tats_util.Metricsreg
+
+(* Fleet-wide mirrors of the per-facade counters. *)
+let m_direct_queries = Metricsreg.counter "hotspot.direct_queries"
+let m_engines = Metricsreg.counter "hotspot.engines_built"
 
 type t = {
   package : Package.t;
@@ -44,6 +49,7 @@ let inquiry t =
       | Some e -> e
       | None ->
           let e = Inquiry.create t.solver in
+          Metricsreg.incr m_engines;
           t.engine <- Some e;
           e)
 
@@ -58,7 +64,9 @@ let inquiries t =
     | None -> 0
     | Some e -> (Inquiry.stats e).Inquiry.inquiries
 
-let count_direct t = locked t (fun () -> t.inquiries <- t.inquiries + 1)
+let count_direct t =
+  Metricsreg.incr m_direct_queries;
+  locked t (fun () -> t.inquiries <- t.inquiries + 1)
 
 let query t ~power =
   count_direct t;

@@ -1,5 +1,7 @@
 module Matrix = Tats_linalg.Matrix
 module Lu = Tats_linalg.Lu
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
 
 type stats = {
   inquiries : int;
@@ -65,23 +67,51 @@ let reset_counters c =
 
 (* Fleet-wide counters, accumulated across every engine instance — the
    bench harness creates hundreds of short-lived hotspots during table
-   regeneration and wants one aggregate. Engines are created and queried
-   from pool worker domains, so the aggregate has its own lock. *)
-let global = fresh_counters ()
-let global_lock = Mutex.create ()
+   regeneration and wants one aggregate. These live in the process-global
+   metrics registry: lock-free atomic bumps from any pool domain, named
+   values in [tats --metrics] dumps, and [global_stats] reads them back
+   into the legacy record shape. *)
+let m_inquiries = Metricsreg.counter "inquiry.inquiries"
+let m_cache_hits = Metricsreg.counter "inquiry.cache_hits"
+let m_fp_iterations = Metricsreg.counter "inquiry.fp_iterations"
+let m_factored_solves = Metricsreg.counter "inquiry.factored_solves"
+let m_dense_solves = Metricsreg.counter "inquiry.dense_solves"
+let m_delta_evals = Metricsreg.counter "inquiry.delta_evals"
+let m_wall = Metricsreg.gauge "inquiry.wall_seconds"
+let h_solve_iterations = Metricsreg.histogram "inquiry.solve_iterations"
+let h_solve_seconds = Metricsreg.histogram "inquiry.solve_seconds"
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let global_stats () = locked global_lock (fun () -> snapshot global)
-let reset_global_stats () = locked global_lock (fun () -> reset_counters global)
+let global_stats () =
+  {
+    inquiries = Metricsreg.counter_value m_inquiries;
+    cache_hits = Metricsreg.counter_value m_cache_hits;
+    fp_iterations = Metricsreg.counter_value m_fp_iterations;
+    factored_solves = Metricsreg.counter_value m_factored_solves;
+    dense_solves = Metricsreg.counter_value m_dense_solves;
+    delta_evals = Metricsreg.counter_value m_delta_evals;
+    wall_time = Metricsreg.gauge_value m_wall;
+  }
+
+let reset_global_stats () =
+  Metricsreg.set_counter m_inquiries 0;
+  Metricsreg.set_counter m_cache_hits 0;
+  Metricsreg.set_counter m_fp_iterations 0;
+  Metricsreg.set_counter m_factored_solves 0;
+  Metricsreg.set_counter m_dense_solves 0;
+  Metricsreg.set_counter m_delta_evals 0;
+  Metricsreg.set_gauge m_wall 0.0;
+  Metricsreg.reset_histogram h_solve_iterations;
+  Metricsreg.reset_histogram h_solve_seconds
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>inquiries        %d@,cache hits       %d (%.1f%%)@,\
      fixed-point iters %d@,factored solves  %d@,dense-path solves %d \
-     (avoided %d)@,delta evals      %d@,engine cpu time  %.3f s@]"
+     (avoided %d)@,delta evals      %d@,engine wall time %.3f s@]"
     s.inquiries s.cache_hits
     (if s.inquiries = 0 then 0.0
      else 100.0 *. float_of_int s.cache_hits /. float_of_int s.inquiries)
@@ -125,12 +155,12 @@ let create solver =
   let n = Rcmodel.n_blocks model in
   let factored = Steady.factored solver in
   let cols =
-    Array.init n (fun j ->
-        let full = Lu.unit_solution factored j in
-        Array.sub full 0 n)
+    Trace.with_span "inquiry.build" (fun () ->
+        Array.init n (fun j ->
+            let full = Lu.unit_solution factored j in
+            Array.sub full 0 n))
   in
-  locked global_lock (fun () ->
-      global.c_factored_solves <- global.c_factored_solves + n);
+  Metricsreg.add m_factored_solves n;
   let counters = fresh_counters () in
   counters.c_factored_solves <- n;
   {
@@ -176,18 +206,21 @@ let temperatures t ~power =
   apply t power dst;
   dst
 
-(* Both counter records live behind locks; the closure is applied to each
-   under its own lock, so bumps from concurrent pool workers never tear. *)
-let bump t f =
-  locked t.lock (fun () -> f t.counters);
-  locked global_lock (fun () -> f global)
+(* The per-engine record lives behind the engine lock; the fleet-wide
+   registry metrics are atomic, so bumps from concurrent pool workers
+   never tear on either side. *)
+let bump t f = locked t.lock (fun () -> f t.counters)
 
 let run_query ?(max_iter = default_max_iter) ?(tol = default_tol)
     ?(cache = true) ?init t ~dynamic ~idle =
   if Array.length dynamic <> t.n || Array.length idle <> t.n then
     invalid_arg "Inquiry.query_with_leakage: bad vector length";
-  let t0 = Sys.time () in
+  (* Wall clock, not [Sys.time]: process CPU time counts every domain in
+     the pool at once, which over-counted by about the domain count under
+     [--jobs N]. Wall time per query is additive across domains. *)
+  let t0 = Trace.now () in
   bump t (fun c -> c.c_inquiries <- c.c_inquiries + 1);
+  Metricsreg.incr m_inquiries;
   (* Cached results were produced with the default convergence settings;
      bypass the cache when the caller overrides them, or asks for a
      stateless query outright. *)
@@ -206,18 +239,24 @@ let run_query ?(max_iter = default_max_iter) ?(tol = default_tol)
             (* The dense path has no cache: it would have paid the full
                fixed point for this inquiry again. *)
             c.c_dense_solves <- c.c_dense_solves + 1 + iters);
+        Metricsreg.incr m_cache_hits;
+        Metricsreg.add m_dense_solves (1 + iters);
         Array.copy temps
     | None ->
         (* The fixed point itself runs without any lock: it only reads the
            immutable influence matrix and writes caller-local buffers. *)
         let temps, iters =
-          Steady.fixed_point ~max_iter ~tol ?init
-            ~package:(package t)
-            ~solve:(apply t) ~dynamic ~idle ()
+          Trace.with_span "inquiry.solve" (fun () ->
+              Steady.fixed_point ~max_iter ~tol ?init
+                ~package:(package t)
+                ~solve:(apply t) ~dynamic ~idle ())
         in
         bump t (fun c ->
             c.c_fp_iterations <- c.c_fp_iterations + iters;
             c.c_dense_solves <- c.c_dense_solves + 1 + iters);
+        Metricsreg.add m_fp_iterations iters;
+        Metricsreg.add m_dense_solves (1 + iters);
+        Metricsreg.observe h_solve_iterations (float_of_int iters);
         (match key with
         | Some k ->
             locked t.lock (fun () ->
@@ -228,7 +267,10 @@ let run_query ?(max_iter = default_max_iter) ?(tol = default_tol)
         | None -> ());
         temps
   in
-  bump t (fun c -> c.c_wall_time <- c.c_wall_time +. (Sys.time () -. t0));
+  let dt = Trace.now () -. t0 in
+  bump t (fun c -> c.c_wall_time <- c.c_wall_time +. dt);
+  Metricsreg.add_gauge m_wall dt;
+  Metricsreg.observe h_solve_seconds dt;
   temps
 
 let query_with_leakage ?max_iter ?tol ?(warm = false) ?cache t ~dynamic ~idle =
@@ -254,6 +296,7 @@ let query_delta ?max_iter ?tol t ~base ~horizon ~pe ~extra ~idle =
   if pe < 0 || pe >= t.n then invalid_arg "Inquiry.query_delta: pe out of range";
   if horizon <= 0.0 then invalid_arg "Inquiry.query_delta: non-positive horizon";
   bump t (fun c -> c.c_delta_evals <- c.c_delta_evals + 1);
+  Metricsreg.incr m_delta_evals;
   let dynamic =
     Array.init t.n (fun i ->
         (base.base_power.(i) /. horizon) +. if i = pe then extra else 0.0)

@@ -28,11 +28,12 @@
 
     One engine may be queried concurrently from multiple {!Tats_util.Pool}
     worker domains. The influence matrix is immutable after {!create};
-    the mutable state — the inquiry cache, the warm-start vector and both
-    counter records — sits behind mutexes (one per engine, one for the
-    global aggregate), taken only around cache lookups/inserts and counter
-    bumps, never around a fixed-point solve. Two caveats matter for
-    deterministic parallel use:
+    the mutable state — the inquiry cache, the warm-start vector and the
+    per-engine counter record — sits behind a per-engine mutex, taken only
+    around cache lookups/inserts and counter bumps, never around a
+    fixed-point solve. The global aggregate lives in the
+    {!Tats_util.Metricsreg} registry as lock-free named counters
+    ([inquiry.*]). Two caveats matter for deterministic parallel use:
 
     - [~warm:true] reads a warm-start vector that concurrent queries race
       to write, so the iteration path (and the result, within [tol])
@@ -55,7 +56,10 @@ type stats = {
       (** back-substitutions the dense path would have needed for the same
           inquiries — the savings baseline *)
   delta_evals : int;  (** O(n) candidate delta-evaluations *)
-  wall_time : float;  (** CPU seconds spent inside the engine *)
+  wall_time : float;
+      (** wall-clock seconds spent inside the engine, summed per query
+          ({!Tats_util.Trace.now}; additive across pool domains, unlike the
+          process CPU time [Sys.time] used to report here) *)
 }
 
 val empty_stats : stats

@@ -1,4 +1,10 @@
 module Lu = Tats_linalg.Lu
+module Metricsreg = Tats_util.Metricsreg
+
+(* Every leakage fixed point in the library funnels through [fixed_point]
+   (dense path and inquiry fast path alike), so this one histogram is the
+   authoritative iteration-count distribution. *)
+let h_fp_iterations = Metricsreg.histogram "steady.fp_iterations"
 
 type t = { model : Rcmodel.t; factored : Lu.t }
 
@@ -62,6 +68,7 @@ let fixed_point ?(max_iter = 200) ?(tol = 1e-6) ?init ~package ~solve ~dynamic
     if !delta <= tol then k + 1 else iterate (k + 1)
   in
   let iters = iterate 0 in
+  Metricsreg.observe h_fp_iterations (float_of_int iters);
   (!cur, iters)
 
 let factored t = t.factored

@@ -1,0 +1,81 @@
+(** Process-global metrics registry: named counters, gauges and log-scale
+    latency/size histograms.
+
+    Handles are interned by name — [counter "inquiry.cache_hits"] returns
+    the same cell everywhere — so modules declare their metrics once at top
+    level and bump them from any domain.  Counters are lock-free
+    ([Atomic.fetch_and_add]); gauges and histograms take a per-metric mutex
+    for a handful of instructions.  All metrics are always on: an update is
+    cheap enough to live on the paths it measures, and [tats --metrics
+    FILE] / {!export} snapshot the registry into a flat [metrics.json].
+
+    Asking for an existing name with a different kind raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;  (** +inf when empty *)
+  max : float;  (** -inf when empty *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Counters} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val set_counter : counter -> int -> unit
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+(** Gauges double as float accumulators (e.g. total engine wall seconds). *)
+
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+(** {1 Histograms}
+
+    Geometric buckets: bucket [i >= 1] covers
+    [1e-9 * 1.25^(i-1), 1e-9 * 1.25^i), bucket 0 everything smaller.  192
+    buckets span nanoseconds to about a minute; percentile answers are the
+    geometric midpoint of the hit bucket, i.e. exact to 25% relative
+    error, clamped to the exactly-tracked observed [min, max]. *)
+
+val observe : histogram -> float -> unit
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [\[0, 100\]]; [nan] when empty. *)
+
+val summary : histogram -> summary
+val reset_histogram : histogram -> unit
+val histogram_name : histogram -> string
+
+(** {1 Registry-wide} *)
+
+val names : unit -> string list
+(** Registered metric names, sorted. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val to_json : unit -> string
+(** The registry as a flat JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    per-histogram count/sum/min/max/p50/p95/p99. *)
+
+val export : string -> unit
+(** Write {!to_json} to a file. *)

@@ -48,12 +48,17 @@ let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let now = Unix.gettimeofday
 
+(* Fleet-wide registry counters, mirroring the per-pool ones. *)
+let m_batches = Metricsreg.counter "pool.batches"
+let m_tasks = Metricsreg.counter "pool.tasks"
+
 (* Run one queued task on this domain with the nested-call flag set; tasks
-   are pre-wrapped and never raise. Returns the wall time spent. *)
+   are pre-wrapped and never raise. Returns the wall time spent. The span
+   makes each domain's busy stretches visible on its own trace row. *)
 let run_task task =
   let t0 = now () in
   Domain.DLS.set in_task true;
-  task ();
+  Trace.with_span "pool.task" task;
   Domain.DLS.set in_task false;
   now () -. t0
 
@@ -167,7 +172,9 @@ let parallel_mapi ?chunk t f xs =
         t.c_batches <- t.c_batches + 1;
         t.c_tasks <- t.c_tasks + n;
         t.busy.(0) <- t.busy.(0) +. (now () -. t0);
-        Mutex.unlock t.mutex
+        Mutex.unlock t.mutex;
+        Metricsreg.incr m_batches;
+        Metricsreg.add m_tasks n
       end;
       r
     in
@@ -195,6 +202,7 @@ let parallel_mapi ?chunk t f xs =
             | exception e -> Some (i, e)
         in
         let failure = go lo in
+        Metricsreg.add m_tasks (hi - lo + 1);
         Mutex.lock t.mutex;
         t.c_tasks <- t.c_tasks + (hi - lo + 1);
         (match failure with
@@ -207,6 +215,7 @@ let parallel_mapi ?chunk t f xs =
         if batch.remaining = 0 then Condition.broadcast t.finished;
         Mutex.unlock t.mutex
       in
+      Metricsreg.incr m_batches;
       Mutex.lock t.mutex;
       t.c_batches <- t.c_batches + 1;
       for c = 0 to n_chunks - 1 do

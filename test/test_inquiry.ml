@@ -17,6 +17,8 @@ module Inquiry = Tats_thermal.Inquiry
 module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module List_sched = Tats_sched.List_sched
+module Montecarlo = Tats_sched.Montecarlo
+module Pool = Tats_util.Pool
 
 let platform_lib = Catalog.platform_library ()
 let platform_pes n = Catalog.platform_instances n
@@ -263,6 +265,41 @@ let test_global_stats_aggregate () =
   Inquiry.reset_global_stats ();
   Alcotest.(check int) "reset" 0 (Inquiry.global_stats ()).Inquiry.inquiries
 
+let test_wall_time_is_wall_clock () =
+  (* Regression: the engine's wall_time counter once summed [Sys.time]
+     deltas — process CPU time, which under a [--jobs N] pool counts every
+     domain's CPU inside every measurement, inflating the counter up to
+     N times per query (N² total).  Measured with the wall clock
+     ({!Tats_util.Trace.now}) instead, per-domain timings are additive: the
+     sum across [jobs] domains cannot exceed [jobs] x the elapsed wall
+     time.  A CPU-time counter on 4 busy domains lands around 4x that
+     bound, so the assertion discriminates. *)
+  let graph = Benchmarks.load 1 in
+  let pes = platform_pes 4 in
+  let h = platform_hotspot 4 in
+  let schedule =
+    List_sched.run ~hotspot:h ~graph ~lib:platform_lib ~pes
+      ~policy:Policy.Thermal_aware ()
+  in
+  let engine = Hotspot.inquiry h in
+  Inquiry.reset_stats engine;
+  let jobs = 4 in
+  let t0 = Tats_util.Trace.now () in
+  ignore
+    (Pool.with_pool ~jobs (fun pool ->
+         Montecarlo.analyze ~runs:400 ~pool ~seed:7 ~lib:platform_lib ~hotspot:h
+           schedule)
+     : Montecarlo.stats);
+  let elapsed = Tats_util.Trace.now () -. t0 in
+  let s = Inquiry.stats engine in
+  Alcotest.(check bool) "engine exercised" true (s.Inquiry.inquiries > 0);
+  Alcotest.(check bool) "wall_time positive" true (s.Inquiry.wall_time > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "wall_time %.3f <= %d x elapsed %.3f + slack" s.Inquiry.wall_time
+       jobs elapsed)
+    true
+    (s.Inquiry.wall_time <= (float_of_int jobs *. elapsed) +. 0.5)
+
 let test_validation () =
   let engine = Hotspot.inquiry (platform_hotspot 4) in
   let bad l = Array.make l 1.0 in
@@ -319,6 +356,8 @@ let () =
           Alcotest.test_case "schedule run saves solves" `Quick
             test_schedule_run_counts_and_saves;
           Alcotest.test_case "global aggregate" `Quick test_global_stats_aggregate;
+          Alcotest.test_case "wall_time is wall clock, not CPU" `Quick
+            test_wall_time_is_wall_clock;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );
     ]

@@ -1,0 +1,206 @@
+(* Adversarial / randomized tests for Tats_util.Pool. The deterministic
+   contract (positional results, index-ordered reduction, lowest-index
+   exception, inline nesting) is easy to satisfy on friendly inputs; these
+   trials attack it with randomized task durations — so domains finish out
+   of index order — and randomized exception placements, across several
+   pool sizes and chunkings, all driven by the in-repo Rng (no new test
+   dependencies). *)
+
+module Pool = Tats_util.Pool
+module Rng = Tats_util.Rng
+
+(* A busy-wait calibrated in work units, not wall time: random per-task
+   spin counts scramble completion order without making the test slow or
+   timing-sensitive. Returns a value derived from the spinning so the
+   loop cannot be optimized away. *)
+let spin units =
+  let acc = ref 0 in
+  for i = 1 to units * 500 do
+    acc := (!acc + i) land 0xffff
+  done;
+  !acc
+
+exception Planted of int
+
+let test_random_durations_positional () =
+  let meta = Rng.create 31 in
+  for trial = 1 to 8 do
+    let n = 1 + Rng.int meta 200 in
+    let jobs = 1 + Rng.int meta 4 in
+    let chunk = 1 + Rng.int meta 8 in
+    let units = Array.init n (fun _ -> Rng.int meta 40) in
+    let got =
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.parallel_mapi ~chunk pool
+            (fun i () ->
+              let noise = spin units.(i) in
+              (i * 3) + (noise - noise))
+            (Array.make n ()))
+    in
+    Alcotest.(check (array int))
+      (Printf.sprintf "trial %d: positional despite scrambled durations" trial)
+      (Array.init n (fun i -> i * 3))
+      got
+  done
+
+let test_random_durations_reduce_order () =
+  (* parallel_for_reduce must fold in index order even when high indices
+     finish first: string concatenation is order-sensitive, so any
+     reordering is visible. *)
+  let meta = Rng.create 77 in
+  for trial = 1 to 6 do
+    let n = 1 + Rng.int meta 60 in
+    let jobs = 1 + Rng.int meta 4 in
+    let units = Array.init n (fun _ -> Rng.int meta 30) in
+    let got =
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.parallel_for_reduce ~chunk:1 pool ~n ~init:"" ~combine:( ^ )
+            (fun i ->
+              ignore (spin units.(i));
+              Printf.sprintf "%d;" i))
+    in
+    let expected =
+      String.concat "" (List.init n (fun i -> Printf.sprintf "%d;" i))
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "trial %d: reduction in index order" trial)
+      expected got
+  done
+
+let test_random_exception_placement () =
+  (* Plant 1-4 failures at random indices with random durations; the
+     surfaced exception must always carry the lowest planted index, no
+     matter which domain hits its failure first. *)
+  let meta = Rng.create 1312 in
+  for trial = 1 to 10 do
+    let n = 16 + Rng.int meta 120 in
+    let jobs = 1 + Rng.int meta 4 in
+    let n_failures = 1 + Rng.int meta 4 in
+    let failures =
+      Array.to_list (Array.init n_failures (fun _ -> Rng.int meta n))
+    in
+    let lowest = List.fold_left Stdlib.min n failures in
+    let units = Array.init n (fun _ -> Rng.int meta 25) in
+    let result =
+      try
+        Pool.with_pool ~jobs (fun pool ->
+            ignore
+              (Pool.parallel_mapi ~chunk:1 pool
+                 (fun i () ->
+                   ignore (spin units.(i));
+                   if List.mem i failures then raise (Planted i);
+                   i)
+                 (Array.make n ())));
+        None
+      with Planted i -> Some i
+    in
+    Alcotest.(check (option int))
+      (Printf.sprintf "trial %d: lowest of %d planted failures wins" trial
+         n_failures)
+      (Some lowest) result
+  done
+
+let test_pool_survives_adversarial_batches () =
+  (* Alternate failing and clean batches on one pool: a failure must not
+     poison the workers for subsequent batches. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 5 do
+        (try
+           ignore
+             (Pool.parallel_mapi ~chunk:1 pool
+                (fun i () -> if i = round then raise (Planted i) else i)
+                (Array.make 16 ()))
+         with Planted _ -> ());
+        let ok = Pool.parallel_map pool (fun x -> x + round) (Array.init 16 Fun.id) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d: clean batch after failure" round)
+          (Array.init 16 (fun i -> i + round))
+          ok
+      done)
+
+(* --- nested submission --------------------------------------------------- *)
+
+(* Nested parallel_map calls must degrade to inline execution — never
+   deadlock waiting for workers that are all busy waiting. The wall-clock
+   bound is the deadlock detector: the work itself is milliseconds, so a
+   generous bound only trips when a nested batch actually blocks. *)
+let nested_deadline_s = 60.0
+
+let test_nested_no_deadlock () =
+  let t0 = Unix.gettimeofday () in
+  let meta = Rng.create 4242 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for _trial = 1 to 4 do
+        let outer = 8 + Rng.int meta 8 in
+        let inner = 8 + Rng.int meta 8 in
+        let got =
+          Pool.parallel_mapi ~chunk:1 pool
+            (fun i () ->
+              (* Every outer task submits its own batch to the same pool. *)
+              let sub =
+                Pool.parallel_mapi ~chunk:1 pool
+                  (fun j () ->
+                    ignore (spin (Rng.int meta 5 land 3));
+                    i + j)
+                  (Array.make inner ())
+              in
+              Array.fold_left ( + ) 0 sub)
+            (Array.make outer ())
+        in
+        let expected =
+          Array.init outer (fun i ->
+              (i * inner) + (inner * (inner - 1) / 2))
+        in
+        Alcotest.(check (array int)) "nested results" expected got
+      done);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no deadlock (finished in %.1f s < %.0f s)" elapsed
+       nested_deadline_s)
+    true
+    (elapsed < nested_deadline_s)
+
+let test_doubly_nested_inline () =
+  (* Two levels of nesting still inline and still return positionally. *)
+  let t0 = Unix.gettimeofday () in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let got =
+        Pool.parallel_mapi ~chunk:1 pool
+          (fun i () ->
+            Pool.parallel_mapi ~chunk:1 pool
+              (fun j () ->
+                let deep =
+                  Pool.parallel_map pool (fun x -> x * x) (Array.init 4 Fun.id)
+                in
+                (i * 10) + j + deep.(3))
+              (Array.make 3 ())
+            |> Array.fold_left ( + ) 0)
+          (Array.make 5 ())
+      in
+      let expected = Array.init 5 (fun i -> (3 * ((i * 10) + 9)) + 3) in
+      Alcotest.(check (array int)) "doubly nested results" expected got);
+  Alcotest.(check bool) "bounded time" true
+    (Unix.gettimeofday () -. t0 < nested_deadline_s)
+
+let () =
+  Alcotest.run "pool_adversarial"
+    [
+      ( "randomized",
+        [
+          Alcotest.test_case "positional under random durations" `Quick
+            test_random_durations_positional;
+          Alcotest.test_case "reduce order under random durations" `Quick
+            test_random_durations_reduce_order;
+          Alcotest.test_case "lowest-index exception, random placement" `Quick
+            test_random_exception_placement;
+          Alcotest.test_case "pool survives adversarial batches" `Quick
+            test_pool_survives_adversarial_batches;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "nested submission never deadlocks" `Quick
+            test_nested_no_deadlock;
+          Alcotest.test_case "doubly nested inlines" `Quick
+            test_doubly_nested_inline;
+        ] );
+    ]
