@@ -13,7 +13,9 @@
       (Monte-Carlo, GA fitness, SA restarts) at 1/2/4 domains, verifies
       they are bit-identical to the sequential runs, and writes
       BENCH_parallel.json.
-   4. Times the experiment kernels with Bechamel (one Test.make per table
+   4. Prices the blocked linalg kernels against an in-bench naive
+      reference (>= 2x gate at n >= 64) and writes BENCH_kernels.json.
+   5. Times the experiment kernels with Bechamel (one Test.make per table
       plus one per Figure-1 flow, and micro-benchmarks of the hot paths).
 
    Pass --tables-only to skip the Bechamel timing runs (CI-friendly) and
@@ -632,7 +634,164 @@ let parallel_scaling () =
   if not all_identical then exit 1
 
 (* ----------------------------------------------------------------------- *)
-(* 4. Observability overhead                                                *)
+(* 4. Kernel speedup — blocked flat-storage linalg vs naive reference       *)
+(* ----------------------------------------------------------------------- *)
+
+(* In-bench transcription of the pre-blocking kernels: unblocked
+   right-looking LU driven through the bounds-checked Matrix.get/set
+   interface, and the influence matrix built as one unit solve per
+   column. test_kernels.ml proves the blocked kernels compute the *same*
+   floats; this section prices the difference. The acceptance gate is a
+   >= 2x speedup on LU factorization and on the batched influence build
+   at n >= 64; smaller sizes are reported for the trend but SKIPped by
+   the gate (they fit in L1 either way, so blocking buys little). *)
+module Naive_lu = struct
+  type t = { lu : Core.Matrix.t; perm : int array }
+
+  let factor a =
+    let n = Core.Matrix.rows a in
+    let lu = Core.Matrix.copy a in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      let pivot_row = ref k in
+      for i = k + 1 to n - 1 do
+        if
+          Float.abs (Core.Matrix.get lu i k)
+          > Float.abs (Core.Matrix.get lu !pivot_row k)
+        then pivot_row := i
+      done;
+      if !pivot_row <> k then begin
+        for j = 0 to n - 1 do
+          let tmp = Core.Matrix.get lu k j in
+          Core.Matrix.set lu k j (Core.Matrix.get lu !pivot_row j);
+          Core.Matrix.set lu !pivot_row j tmp
+        done;
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(!pivot_row);
+        perm.(!pivot_row) <- tmp
+      end;
+      let pivot = Core.Matrix.get lu k k in
+      for i = k + 1 to n - 1 do
+        let factor = Core.Matrix.get lu i k /. pivot in
+        Core.Matrix.set lu i k factor;
+        for j = k + 1 to n - 1 do
+          Core.Matrix.set lu i j
+            (Core.Matrix.get lu i j -. (factor *. Core.Matrix.get lu k j))
+        done
+      done
+    done;
+    { lu; perm }
+
+  let solve_factored { lu; perm } b =
+    let n = Core.Matrix.rows lu in
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    for i = 1 to n - 1 do
+      for j = 0 to i - 1 do
+        x.(i) <- x.(i) -. (Core.Matrix.get lu i j *. x.(j))
+      done
+    done;
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        x.(i) <- x.(i) -. (Core.Matrix.get lu i j *. x.(j))
+      done;
+      x.(i) <- x.(i) /. Core.Matrix.get lu i i
+    done;
+    x
+
+  let unit_solutions f n =
+    Array.init n (fun j ->
+        let e = Array.make n 0.0 in
+        e.(j) <- 1.0;
+        solve_factored f e)
+end
+
+let kernel_speedups () =
+  hr "Kernel speedup — blocked flat-storage linalg vs naive reference";
+  let sizes = [ 16; 32; 64; 96 ] in
+  (* Best-of-samples timing with enough inner iterations per sample to
+     dwarf the timer resolution at the small sizes. *)
+  let time_min ~iters f =
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int iters)
+    done;
+    !best
+  in
+  Printf.printf "%-6s %12s %12s %9s %12s %12s %9s %8s\n" "n" "factor old"
+    "factor new" "speedup" "infl old" "infl new" "speedup" "gate";
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Core.Rng.create (97 + n) in
+        let a =
+          Core.Matrix.init n n (fun i j ->
+              if i = j then 10.0 +. Core.Rng.float rng 5.0
+              else Core.Rng.uniform rng (-1.0) 1.0)
+        in
+        let iters = Stdlib.max 1 (20_000 / (n * n)) in
+        let t_factor_old = time_min ~iters (fun () -> Naive_lu.factor a) in
+        let t_factor_new = time_min ~iters (fun () -> Core.Lu.factor a) in
+        let nf = Naive_lu.factor a and f = Core.Lu.factor a in
+        let t_infl_old =
+          time_min ~iters (fun () -> Naive_lu.unit_solutions nf n)
+        in
+        let t_infl_new = time_min ~iters (fun () -> Core.Lu.unit_solutions f) in
+        let s_factor = t_factor_old /. Float.max t_factor_new 1e-12 in
+        let s_infl = t_infl_old /. Float.max t_infl_new 1e-12 in
+        let gate =
+          if n < 64 then "SKIP"
+          else if s_factor >= 2.0 && s_infl >= 2.0 then "PASS"
+          else "FAIL"
+        in
+        Printf.printf "%-6d %11.1fus %11.1fus %8.2fx %11.1fus %11.1fus %8.2fx %8s\n"
+          n (1e6 *. t_factor_old) (1e6 *. t_factor_new) s_factor
+          (1e6 *. t_infl_old) (1e6 *. t_infl_new) s_infl gate;
+        (n, t_factor_old, t_factor_new, s_factor, t_infl_old, t_infl_new, s_infl, gate))
+      sizes
+  in
+  let gated = List.filter (fun (n, _, _, _, _, _, _, _) -> n >= 64) rows in
+  let verdict =
+    if gated = [] then "SKIP (no gated sizes)"
+    else if
+      List.for_all (fun (_, _, _, _, _, _, _, gate) -> gate = "PASS") gated
+    then "PASS"
+    else "FAIL"
+  in
+  Printf.printf "kernel speedup at n >= 64 (>= 2x target on both): %s\n" verdict;
+  Printf.printf
+    "flops counted so far: factor %d, solve %d, matmul %d (lu.solves %d, \
+     batched %d)\n"
+    (Core.Metricsreg.counter_value (Core.Metricsreg.counter "lu.factor_flops"))
+    (Core.Metricsreg.counter_value (Core.Metricsreg.counter "lu.solve_flops"))
+    (Core.Metricsreg.counter_value (Core.Metricsreg.counter "matrix.mul_flops"))
+    (Core.Metricsreg.counter_value (Core.Metricsreg.counter "lu.solves"))
+    (Core.Metricsreg.counter_value
+       (Core.Metricsreg.counter "lu.batched_solves"));
+  let oc = open_out "BENCH_kernels.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"speedup_target\": 2.0,\n  \"sizes\": [\n";
+      List.iteri
+        (fun i (n, fo, fn, sf, io, inew, si, gate) ->
+          Printf.fprintf oc
+            "    {\"n\": %d, \"factor_old_s\": %.8f, \"factor_new_s\": %.8f, \
+             \"factor_speedup\": %.3f, \"influence_old_s\": %.8f, \
+             \"influence_new_s\": %.8f, \"influence_speedup\": %.3f, \
+             \"gate\": %S}%s\n"
+            n fo fn sf io inew si gate
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n  \"speedup_check\": %S\n}\n" verdict);
+  Printf.printf "wrote BENCH_kernels.json\n";
+  announce_json "BENCH_kernels.json"
+
+(* ----------------------------------------------------------------------- *)
+(* 5. Observability overhead                                                *)
 (* ----------------------------------------------------------------------- *)
 
 (* The tracing layer promises that a disabled [with_span] costs one atomic
@@ -720,7 +879,7 @@ let observability_overhead () =
   announce_json "BENCH_observability.json"
 
 (* ----------------------------------------------------------------------- *)
-(* 5. Bechamel timing benches                                               *)
+(* 6. Bechamel timing benches                                               *)
 (* ----------------------------------------------------------------------- *)
 
 let platform_hotspot () =
@@ -910,6 +1069,7 @@ let () =
   timed_phase "ablation-montecarlo" ablation_montecarlo;
   timed_phase "design-space" design_space_exploration;
   timed_phase "parallel-scaling" parallel_scaling;
+  timed_phase "kernels" kernel_speedups;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)
   (match trace_path with

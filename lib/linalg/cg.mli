@@ -6,7 +6,17 @@
 
 type stats = { iterations : int; residual_norm : float }
 
+type workspace
+(** Preallocated iteration buffers (residual, preconditioned residual,
+    search direction, spmv destination, inverse diagonal). With a
+    workspace supplied, {!solve} allocates only the solution vector. A
+    workspace must not be shared by concurrent solves. *)
+
+val workspace : int -> workspace
+(** [workspace n] allocates buffers for [n]-dimensional systems. *)
+
 val solve :
+  ?workspace:workspace ->
   ?x0:float array ->
   ?tol:float ->
   ?max_iter:int ->
@@ -16,4 +26,7 @@ val solve :
   float array * stats
 (** [solve a b] returns [(x, stats)] with [||A x - b|| <= tol * ||b||] when
     converged. [tol] defaults to [1e-10], [max_iter] to [10 * n], [jacobi] to
-    [true]. Raises [Failure] if the iteration fails to converge. *)
+    [true]. [workspace] (of size [Sparse.rows a]) makes the iteration
+    allocation-free; omitted, a fresh one is allocated per call. Raises
+    [Failure] if the iteration fails to converge, [Invalid_argument] on a
+    size mismatch (including the workspace). *)

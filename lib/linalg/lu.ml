@@ -1,3 +1,16 @@
+(* Blocked right-looking LU on the flat row-major buffer.
+
+   The factorization is organized LAPACK-style — factor a narrow panel of
+   columns with immediate updates confined to the panel, then apply the
+   panel's deferred rank-updates to the trailing matrix in one cache-
+   friendly sweep — but every scalar update a(i,j) <- a(i,j) - l(i,k)*u(k,j)
+   is still applied one product at a time in ascending k, and pivots are
+   chosen from identically-valued columns. The factors (and therefore
+   every solve, determinant and influence matrix downstream) are
+   bit-identical to the textbook unblocked kernel on finite inputs; the
+   blocking only changes *when* each update runs, never its operand
+   values or order. test/test_kernels.ml pins this equivalence exactly. *)
+
 type t = {
   lu : Matrix.t; (* L below the diagonal (unit diag implicit), U on and above *)
   perm : int array;
@@ -8,42 +21,110 @@ exception Singular
 
 let m_factorizations = Tats_util.Metricsreg.counter "lu.factorizations"
 let m_solves = Tats_util.Metricsreg.counter "lu.solves"
+let m_batched_solves = Tats_util.Metricsreg.counter "lu.batched_solves"
+let m_factor_flops = Tats_util.Metricsreg.counter "lu.factor_flops"
+let m_solve_flops = Tats_util.Metricsreg.counter "lu.solve_flops"
+
+(* Panel width: 32 columns of doubles keeps the panel plus one streamed
+   trailing row well inside L1 for the sizes the thermal models build. *)
+let panel = 32
 
 let factor a =
   if Matrix.rows a <> Matrix.cols a then invalid_arg "Lu.factor: not square";
   Tats_util.Metricsreg.incr m_factorizations;
   let n = Matrix.rows a in
   let lu = Matrix.copy a in
+  let d = Matrix.data lu in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
-  for k = 0 to n - 1 do
-    (* Partial pivoting: pick the largest magnitude in column k. *)
-    let pivot_row = ref k in
-    for i = k + 1 to n - 1 do
-      if Float.abs (Matrix.get lu i k) > Float.abs (Matrix.get lu !pivot_row k)
-      then pivot_row := i
-    done;
-    if !pivot_row <> k then begin
-      for j = 0 to n - 1 do
-        let tmp = Matrix.get lu k j in
-        Matrix.set lu k j (Matrix.get lu !pivot_row j);
-        Matrix.set lu !pivot_row j tmp
+  let k0 = ref 0 in
+  while !k0 < n do
+    let kend = Stdlib.min n (!k0 + panel) in
+    (* Panel factorization: columns [k0, kend). Each pivot column has
+       already received every update from steps < k (earlier panels via
+       the trailing sweep, earlier panel steps below), so the pivot
+       choice matches the unblocked algorithm step for step. *)
+    for k = !k0 to kend - 1 do
+      let pivot_row = ref k in
+      let pivot_abs = ref (Float.abs (Array.unsafe_get d ((k * n) + k))) in
+      for i = k + 1 to n - 1 do
+        let v = Float.abs (Array.unsafe_get d ((i * n) + k)) in
+        if v > !pivot_abs then begin
+          pivot_row := i;
+          pivot_abs := v
+        end
       done;
-      let tmp = perm.(k) in
-      perm.(k) <- perm.(!pivot_row);
-      perm.(!pivot_row) <- tmp;
-      sign := -. !sign
-    end;
-    let pivot = Matrix.get lu k k in
-    if Float.abs pivot < 1e-300 then raise Singular;
-    for i = k + 1 to n - 1 do
-      let factor = Matrix.get lu i k /. pivot in
-      Matrix.set lu i k factor;
-      for j = k + 1 to n - 1 do
-        Matrix.set lu i j (Matrix.get lu i j -. (factor *. Matrix.get lu k j))
+      if !pivot_row <> k then begin
+        (* Swap the full rows; deferred trailing updates travel with the
+           multipliers stored in the row, so a later sweep applies the
+           same operations the unblocked kernel applied before its swap. *)
+        let ra = k * n and rb = !pivot_row * n in
+        for j = 0 to n - 1 do
+          let tmp = Array.unsafe_get d (ra + j) in
+          Array.unsafe_set d (ra + j) (Array.unsafe_get d (rb + j));
+          Array.unsafe_set d (rb + j) tmp
+        done;
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(!pivot_row);
+        perm.(!pivot_row) <- tmp;
+        sign := -. !sign
+      end;
+      let pivot = Array.unsafe_get d ((k * n) + k) in
+      if Float.abs pivot < 1e-300 then raise Singular;
+      let krow = k * n in
+      for i = k + 1 to n - 1 do
+        let irow = i * n in
+        let factor = Array.unsafe_get d (irow + k) /. pivot in
+        Array.unsafe_set d (irow + k) factor;
+        for j = k + 1 to kend - 1 do
+          Array.unsafe_set d (irow + j)
+            (Array.unsafe_get d (irow + j)
+            -. (factor *. Array.unsafe_get d (krow + j)))
+        done
       done
-    done
+    done;
+    (* Trailing sweep: apply the panel's deferred updates to columns
+       >= kend. Rows ascend so that a panel row is fully updated before
+       later rows consume it as a U source; k ascends innermost-to-row so
+       each element subtracts its products in unblocked order. The panel
+       rows stay cache-hot while every trailing row streams through
+       exactly once per panel. *)
+    if kend < n then
+      for i = !k0 + 1 to n - 1 do
+        let irow = i * n in
+        let klim = Stdlib.min i kend in
+        for k = !k0 to klim - 1 do
+          let lik = Array.unsafe_get d (irow + k) in
+          if lik <> 0.0 then begin
+            let krow = k * n in
+            let j = ref kend in
+            while !j + 3 < n do
+              let j0 = !j in
+              Array.unsafe_set d (irow + j0)
+                (Array.unsafe_get d (irow + j0)
+                -. (lik *. Array.unsafe_get d (krow + j0)));
+              Array.unsafe_set d (irow + j0 + 1)
+                (Array.unsafe_get d (irow + j0 + 1)
+                -. (lik *. Array.unsafe_get d (krow + j0 + 1)));
+              Array.unsafe_set d (irow + j0 + 2)
+                (Array.unsafe_get d (irow + j0 + 2)
+                -. (lik *. Array.unsafe_get d (krow + j0 + 2)));
+              Array.unsafe_set d (irow + j0 + 3)
+                (Array.unsafe_get d (irow + j0 + 3)
+                -. (lik *. Array.unsafe_get d (krow + j0 + 3)));
+              j := j0 + 4
+            done;
+            for j = !j to n - 1 do
+              Array.unsafe_set d (irow + j)
+                (Array.unsafe_get d (irow + j)
+                -. (lik *. Array.unsafe_get d (krow + j)))
+            done
+          end
+        done
+      done;
+    k0 := kend
   done;
+  Tats_util.Metricsreg.add m_factor_flops (2 * n * n * n / 3);
   { lu; perm; sign = !sign }
 
 let size { lu; _ } = Matrix.rows lu
@@ -54,27 +135,113 @@ let solve_factored_into { lu; perm; _ } ~b ~x =
     invalid_arg "Lu.solve_factored_into: size mismatch";
   if b == x then invalid_arg "Lu.solve_factored_into: b and x must not alias";
   Tats_util.Metricsreg.incr m_solves;
+  let d = Matrix.data lu in
   for i = 0 to n - 1 do
-    x.(i) <- b.(perm.(i))
+    Array.unsafe_set x i (Array.unsafe_get b (Array.unsafe_get perm i))
   done;
-  (* Forward substitution with unit-diagonal L. *)
+  (* Forward substitution with unit-diagonal L; a single sequential
+     accumulator keeps the subtraction order of the naive loop. *)
   for i = 1 to n - 1 do
+    let irow = i * n in
+    let acc = ref (Array.unsafe_get x i) in
     for j = 0 to i - 1 do
-      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
-    done
+      acc := !acc -. (Array.unsafe_get d (irow + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i !acc
   done;
   (* Back substitution with U. *)
   for i = n - 1 downto 0 do
+    let irow = i * n in
+    let acc = ref (Array.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+      acc := !acc -. (Array.unsafe_get d (irow + j) *. Array.unsafe_get x j)
     done;
-    x.(i) <- x.(i) /. Matrix.get lu i i
-  done
+    Array.unsafe_set x i (!acc /. Array.unsafe_get d (irow + i))
+  done;
+  Tats_util.Metricsreg.add m_solve_flops (2 * n * n)
 
 let solve_factored f b =
   let x = Array.make (size f) 0.0 in
   solve_factored_into f ~b ~x;
   x
+
+(* Width of one RHS block in the batched solve: 8 solution columns
+   interleaved element-major in one scratch buffer, so the inner loops
+   touch one contiguous 64-byte stripe per (i, j) while each LU element
+   is loaded once for all 8 columns instead of once per column. *)
+let rhs_block = 8
+
+let solve_many { lu; perm; _ } bs =
+  let n = Matrix.rows lu in
+  Array.iter
+    (fun b ->
+      if Array.length b <> n then invalid_arg "Lu.solve_many: size mismatch")
+    bs;
+  let nrhs = Array.length bs in
+  Tats_util.Metricsreg.incr m_batched_solves;
+  Tats_util.Metricsreg.add m_solves nrhs;
+  let d = Matrix.data lu in
+  let xs = Array.init nrhs (fun _ -> Array.make n 0.0) in
+  (* scratch.(i * w + r) holds x_r(i) for the current block of w
+     right-hand sides. Per column the substitutions below perform the
+     exact operation sequence of [solve_factored_into] (i and j ascend,
+     one subtraction per product), so each solution is element-wise
+     identical to a loop of single solves — the batching only shares the
+     LU loads across columns. *)
+  let scratch = Array.make (n * rhs_block) 0.0 in
+  let r0 = ref 0 in
+  while !r0 < nrhs do
+    let w = Stdlib.min rhs_block (nrhs - !r0) in
+    for r = 0 to w - 1 do
+      let b = Array.unsafe_get bs (!r0 + r) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set scratch ((i * rhs_block) + r)
+          (Array.unsafe_get b (Array.unsafe_get perm i))
+      done
+    done;
+    for i = 1 to n - 1 do
+      let irow = i * n and ix = i * rhs_block in
+      for j = 0 to i - 1 do
+        let lij = Array.unsafe_get d (irow + j) in
+        if lij <> 0.0 then begin
+          let jx = j * rhs_block in
+          for r = 0 to w - 1 do
+            Array.unsafe_set scratch (ix + r)
+              (Array.unsafe_get scratch (ix + r)
+              -. (lij *. Array.unsafe_get scratch (jx + r)))
+          done
+        end
+      done
+    done;
+    for i = n - 1 downto 0 do
+      let irow = i * n and ix = i * rhs_block in
+      for j = i + 1 to n - 1 do
+        let uij = Array.unsafe_get d (irow + j) in
+        if uij <> 0.0 then begin
+          let jx = j * rhs_block in
+          for r = 0 to w - 1 do
+            Array.unsafe_set scratch (ix + r)
+              (Array.unsafe_get scratch (ix + r)
+              -. (uij *. Array.unsafe_get scratch (jx + r)))
+          done
+        end
+      done;
+      let uii = Array.unsafe_get d (irow + i) in
+      for r = 0 to w - 1 do
+        Array.unsafe_set scratch (ix + r)
+          (Array.unsafe_get scratch (ix + r) /. uii)
+      done
+    done;
+    for r = 0 to w - 1 do
+      let x = Array.unsafe_get xs (!r0 + r) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set x i (Array.unsafe_get scratch ((i * rhs_block) + r))
+      done
+    done;
+    r0 := !r0 + w
+  done;
+  Tats_util.Metricsreg.add m_solve_flops (2 * n * n * nrhs);
+  xs
 
 let unit_solution f j =
   let n = size f in
@@ -82,6 +249,14 @@ let unit_solution f j =
   let e = Array.make n 0.0 in
   e.(j) <- 1.0;
   solve_factored f e
+
+let unit_solutions f =
+  let n = size f in
+  solve_many f
+    (Array.init n (fun j ->
+         let e = Array.make n 0.0 in
+         e.(j) <- 1.0;
+         e))
 
 let solve a b = solve_factored (factor a) b
 
@@ -95,17 +270,8 @@ let det { lu; sign; _ } =
 
 let inverse a =
   let n = Matrix.rows a in
-  let f = factor a in
-  let inv = Matrix.create n n in
-  for j = 0 to n - 1 do
-    let e = Array.make n 0.0 in
-    e.(j) <- 1.0;
-    let col = solve_factored f e in
-    for i = 0 to n - 1 do
-      Matrix.set inv i j col.(i)
-    done
-  done;
-  inv
+  let cols = unit_solutions (factor a) in
+  Matrix.init n n (fun i j -> cols.(j).(i))
 
 let residual a x b =
   let ax = Matrix.mul_vec a x in

@@ -2,7 +2,16 @@
 
     The thermal model factors its conductance matrix once and back-solves for
     every power inquiry the scheduler makes, so factorization and solving are
-    exposed separately. *)
+    exposed separately.
+
+    The factorization is cache-blocked (panel factorization plus a
+    deferred trailing sweep over the flat row-major buffer) and the
+    multi-RHS entry points ({!solve_many}, {!unit_solutions}) share each
+    LU element across a block of solution columns. All of it preserves
+    the scalar operation order of the textbook unblocked kernels, so
+    factors and solutions are bit-identical to them on finite inputs —
+    the differential suite in [test/test_kernels.ml] asserts exact
+    equality, not closeness. *)
 
 type t
 (** A factored square matrix. *)
@@ -28,6 +37,18 @@ val unit_solution : t -> int -> float array
 (** [unit_solution lu j] solves [A x = e_j] — column [j] of the inverse.
     The thermal inquiry engine extracts one such column per block to build
     its influence matrix. *)
+
+val solve_many : t -> float array array -> float array array
+(** [solve_many lu bs] solves [A x_r = bs.(r)] for every right-hand side
+    in one blocked pass: each LU element is loaded once per block of 8
+    columns instead of once per column. Element-wise identical to calling
+    {!solve_factored} on each [bs.(r)] in turn. *)
+
+val unit_solutions : t -> float array array
+(** [unit_solutions lu] is [Array.init (size lu) (unit_solution lu)] —
+    every column of the inverse — computed by one {!solve_many} pass.
+    This is how the inquiry engine now builds its whole influence matrix
+    in a single sweep. *)
 
 val solve : Matrix.t -> float array -> float array
 (** One-shot [factor] + [solve_factored]. *)

@@ -1,7 +1,15 @@
+(* Flat row-major storage: one [float array], element (i, j) at
+   [i * cols + j]. The public accessors are bounds-checked; the kernels
+   below (and LU/CG in this library) index the flat buffer with
+   [Array.unsafe_get]/[unsafe_set] after validating shapes once up
+   front. *)
+
 type t = { rows : int; cols : int; data : float array }
 
+let m_mul_flops = Tats_util.Metricsreg.counter "matrix.mul_flops"
+
 let create rows cols =
-  assert (rows >= 0 && cols >= 0);
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
   { rows; cols; data = Array.make (rows * cols) 0.0 }
 
 let init rows cols f =
@@ -30,15 +38,30 @@ let of_arrays a =
 
 let rows m = m.rows
 let cols m = m.cols
-let get m i j = m.data.((i * m.cols) + j)
-let set m i j x = m.data.((i * m.cols) + j) <- x
-let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+let data m = m.data
 
-let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.get: index out of range";
+  Array.unsafe_get m.data ((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.set: index out of range";
+  Array.unsafe_set m.data ((i * m.cols) + j) x
+
+let add_to m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.add_to: index out of range";
+  let k = (i * m.cols) + j in
+  Array.unsafe_set m.data k (Array.unsafe_get m.data k +. x)
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
 
 let col m j =
   if j < 0 || j >= m.cols then invalid_arg "Matrix.col: column out of range";
-  Array.init m.rows (fun i -> get m i j)
+  Array.init m.rows (fun i -> Array.unsafe_get m.data ((i * m.cols) + j))
 
 let copy m = { m with data = Array.copy m.data }
 
@@ -53,26 +76,72 @@ let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
 let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
 
+(* Cache tile for [mul]: 48 x 48 doubles per operand tile (~18 KB) keeps
+   an A tile and the hot B rows resident in L1/L2 together. *)
+let tile = 48
+
+(* Tiled i/k product with the scalar update order of the classic ikj
+   loop: every c(i,j) accumulates its a(i,k)*b(k,j) terms one at a time
+   in ascending k (tiles ascend, k within a tile ascends), so the result
+   is bit-identical to the untiled kernel on finite inputs — tiling and
+   the 4-way unrolled j loop only reorder independent elements. *)
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
-  let c = create a.rows b.cols in
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = get a i k in
-      if aik <> 0.0 then
-        for j = 0 to b.cols - 1 do
-          add_to c i j (aik *. get b k j)
+  let m = a.rows and kn = a.cols and n = b.cols in
+  let c = create m n in
+  let ad = a.data and bd = b.data and cd = c.data in
+  let i0 = ref 0 in
+  while !i0 < m do
+    let ihi = Stdlib.min m (!i0 + tile) - 1 in
+    let k0 = ref 0 in
+    while !k0 < kn do
+      let khi = Stdlib.min kn (!k0 + tile) - 1 in
+      for i = !i0 to ihi do
+        let arow = i * kn and crow = i * n in
+        for k = !k0 to khi do
+          let aik = Array.unsafe_get ad (arow + k) in
+          if aik <> 0.0 then begin
+            let brow = k * n in
+            let j = ref 0 in
+            while !j + 3 < n do
+              let j0 = !j in
+              Array.unsafe_set cd (crow + j0)
+                (Array.unsafe_get cd (crow + j0)
+                +. (aik *. Array.unsafe_get bd (brow + j0)));
+              Array.unsafe_set cd (crow + j0 + 1)
+                (Array.unsafe_get cd (crow + j0 + 1)
+                +. (aik *. Array.unsafe_get bd (brow + j0 + 1)));
+              Array.unsafe_set cd (crow + j0 + 2)
+                (Array.unsafe_get cd (crow + j0 + 2)
+                +. (aik *. Array.unsafe_get bd (brow + j0 + 2)));
+              Array.unsafe_set cd (crow + j0 + 3)
+                (Array.unsafe_get cd (crow + j0 + 3)
+                +. (aik *. Array.unsafe_get bd (brow + j0 + 3)));
+              j := j0 + 4
+            done;
+            for j = !j to n - 1 do
+              Array.unsafe_set cd (crow + j)
+                (Array.unsafe_get cd (crow + j)
+                +. (aik *. Array.unsafe_get bd (brow + j)))
+            done
+          end
         done
-    done
+      done;
+      k0 := !k0 + tile
+    done;
+    i0 := !i0 + tile
   done;
+  Tats_util.Metricsreg.add m_mul_flops (2 * m * n * kn);
   c
 
 let mul_vec m v =
   if m.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  let d = m.data and n = m.cols in
   Array.init m.rows (fun i ->
+      let row = i * n in
       let acc = ref 0.0 in
-      for j = 0 to m.cols - 1 do
-        acc := !acc +. (get m i j *. v.(j))
+      for j = 0 to n - 1 do
+        acc := !acc +. (Array.unsafe_get d (row + j) *. Array.unsafe_get v j)
       done;
       !acc)
 

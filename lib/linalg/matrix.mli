@@ -1,7 +1,11 @@
-(** Dense row-major float matrices.
+(** Dense row-major float matrices on flat contiguous storage.
 
     Sized for the compact thermal model: networks of a few tens of nodes,
-    where a dense LU factorization is both simplest and fastest. *)
+    where a dense LU factorization is both simplest and fastest. Element
+    (i, j) lives at index [i * cols + j] of a single [float array]; the
+    accessors here are bounds-checked, while the kernels in this library
+    (tiled {!mul}, the blocked LU, the fused CG primitives) run unsafe
+    indexed loops over {!data} after validating shapes once. *)
 
 type t
 
@@ -23,8 +27,18 @@ val col : t -> int -> float array
 val rows : t -> int
 val cols : t -> int
 
+val data : t -> float array
+(** The underlying flat row-major buffer, shared (not a copy): element
+    (i, j) is [ (data m).(i * cols m + j) ]. For kernel code that needs
+    raw indexed access after its own shape validation — mutating it
+    mutates the matrix. *)
+
 val get : t -> int -> int -> float
+(** Bounds-checked element read. Raises [Invalid_argument] out of range. *)
+
 val set : t -> int -> int -> float -> unit
+(** Bounds-checked element write. Raises [Invalid_argument] out of range. *)
+
 val add_to : t -> int -> int -> float -> unit
 (** [add_to m i j x] is [set m i j (get m i j +. x)]. *)
 
@@ -34,7 +48,11 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 val mul : t -> t -> t
-(** Matrix product. Raises [Invalid_argument] on dimension mismatch. *)
+(** Matrix product — cache-tiled over 48x48 blocks with an unrolled
+    contiguous inner loop, but with the scalar accumulation order of the
+    classic ikj triple loop, so results are bit-identical to the naive
+    kernel on finite inputs. Raises [Invalid_argument] on dimension
+    mismatch. *)
 
 val mul_vec : t -> float array -> float array
 (** Matrix-vector product. *)

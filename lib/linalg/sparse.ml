@@ -56,14 +56,30 @@ let get t i j =
   in
   scan t.row_ptr.(i)
 
+let mul_vec_into t v dst =
+  if Array.length v <> t.cols then invalid_arg "Sparse.mul_vec_into: size mismatch";
+  if Array.length dst <> t.rows then
+    invalid_arg "Sparse.mul_vec_into: destination size mismatch";
+  if v == dst then invalid_arg "Sparse.mul_vec_into: v and dst must not alias";
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
+  for i = 0 to t.rows - 1 do
+    let lo = Array.unsafe_get row_ptr i in
+    let hi = Array.unsafe_get row_ptr (i + 1) in
+    let acc = ref 0.0 in
+    for k = lo to hi - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get values k
+           *. Array.unsafe_get v (Array.unsafe_get col_idx k)
+    done;
+    Array.unsafe_set dst i !acc
+  done
+
 let mul_vec t v =
   if Array.length v <> t.cols then invalid_arg "Sparse.mul_vec: size mismatch";
-  Array.init t.rows (fun i ->
-      let acc = ref 0.0 in
-      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-        acc := !acc +. (t.values.(k) *. v.(t.col_idx.(k)))
-      done;
-      !acc)
+  let dst = Array.make t.rows 0.0 in
+  mul_vec_into t v dst;
+  dst
 
 let diag t =
   Array.init (Stdlib.min t.rows t.cols) (fun i -> get t i i)

@@ -19,6 +19,11 @@ val get : t -> int -> int -> float
 
 val mul_vec : t -> float array -> float array
 
+val mul_vec_into : t -> float array -> float array -> unit
+(** [mul_vec_into t v dst] writes [t * v] into [dst] (length [rows t])
+    without allocating — the CG iteration's allocation-free spmv. [v]
+    and [dst] must be distinct arrays. *)
+
 val diag : t -> float array
 (** Diagonal entries (0.0 where absent). *)
 

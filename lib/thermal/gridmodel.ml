@@ -18,6 +18,12 @@ type t = {
   coverage : (int * float) array array;
       (* per block: (cell, fraction of the block's area in that cell) *)
   cell_area : float;
+  (* Shared CG iteration buffers: grids run to 32x32 and beyond, so the
+     per-solve workspace is worth keeping. The lock is only ever
+     try-acquired — a contending solve falls back to a fresh workspace
+     rather than serializing (the domain pool may solve in parallel). *)
+  ws : Cg.workspace;
+  ws_lock : Mutex.t;
 }
 
 let n_cells t = t.nx * t.ny
@@ -113,7 +119,18 @@ let build ?(nx = 32) ?(ny = 32) (pkg : Package.t) (placement : Placement.t) =
         Array.of_list !acc)
       placement.Placement.rects
   in
-  { package = pkg; nx; ny; n_blocks; a; g_amb; coverage; cell_area }
+  {
+    package = pkg;
+    nx;
+    ny;
+    n_blocks;
+    a;
+    g_amb;
+    coverage;
+    cell_area;
+    ws = Cg.workspace nodes;
+    ws_lock = Mutex.create ();
+  }
 
 let node_temperatures t ~power =
   if Array.length power <> t.n_blocks then
@@ -124,7 +141,14 @@ let node_temperatures t ~power =
     (fun b cells ->
       Array.iter (fun (cell, frac) -> rhs.(cell) <- rhs.(cell) +. (power.(b) *. frac)) cells)
     t.coverage;
-  let x, stats = Cg.solve ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs in
+  let x, stats =
+    if Mutex.try_lock t.ws_lock then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.ws_lock)
+        (fun () ->
+          Cg.solve ~workspace:t.ws ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs)
+    else Cg.solve ~tol:1e-9 ~max_iter:(50 * nodes) t.a rhs
+  in
   Metricsreg.incr m_solves;
   Metricsreg.set_gauge g_last_residual stats.Cg.residual_norm;
   Metricsreg.observe h_cg_iterations (float_of_int stats.Cg.iterations);

@@ -39,9 +39,10 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-(* The engine costs n_blocks factored solves to build, so it is created on
-   first use — facades that only ever serve direct queries never pay. The
-   lock makes the lazy creation race-free: exactly one engine is ever
+(* The engine costs n_blocks factored solves to build (one batched
+   [Lu.solve_many] sweep via [Steady.influence_columns]), so it is created
+   on first use — facades that only ever serve direct queries never pay.
+   The lock makes the lazy creation race-free: exactly one engine is ever
    built, and concurrent callers all see it. *)
 let inquiry t =
   locked t (fun () ->

@@ -153,12 +153,15 @@ let max_cache_entries = 1 lsl 16
 let create solver =
   let model = Steady.model solver in
   let n = Rcmodel.n_blocks model in
-  let factored = Steady.factored solver in
+  (* The whole influence matrix comes from one batched multi-RHS
+     back-solve (Lu.solve_many under Steady.influence_columns) — one
+     blocked pass over the factors instead of n separate unit solves,
+     with element-wise identical columns. Only the first n block rows of
+     the first n columns are retained. *)
   let cols =
     Trace.with_span "inquiry.build" (fun () ->
-        Array.init n (fun j ->
-            let full = Lu.unit_solution factored j in
-            Array.sub full 0 n))
+        let full = Steady.influence_columns ~n solver in
+        Array.map (fun col -> Array.sub col 0 n) full)
   in
   Metricsreg.add m_factored_solves n;
   let counters = fresh_counters () in

@@ -73,6 +73,19 @@ let fixed_point ?(max_iter = 200) ?(tol = 1e-6) ?init ~package ~solve ~dynamic
 
 let factored t = t.factored
 
+(* One blocked multi-RHS sweep instead of a loop of unit solves;
+   Lu.solve_many guarantees element-wise identical columns. *)
+let influence_columns ?n t =
+  let nodes = Lu.size t.factored in
+  let n = match n with None -> nodes | Some n -> n in
+  if n < 0 || n > nodes then
+    invalid_arg "Steady.influence_columns: column count out of range";
+  Lu.solve_many t.factored
+    (Array.init n (fun j ->
+         let e = Array.make nodes 0.0 in
+         e.(j) <- 1.0;
+         e))
+
 let solve_with_leakage ?max_iter ?tol t ~dynamic ~idle =
   let n = Rcmodel.n_blocks t.model in
   if Array.length dynamic <> n || Array.length idle <> n then

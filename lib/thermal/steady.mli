@@ -52,4 +52,14 @@ val fixed_point :
 val factored : t -> Tats_linalg.Lu.t
 (** The factored network matrix (for influence-column extraction). *)
 
+val influence_columns : ?n:int -> t -> float array array
+(** The first [n] columns of the network inverse — column [j] is the
+    node temperature response to 1 W injected at node [j] — extracted in
+    one batched back-solve ({!Tats_linalg.Lu.solve_many}) instead of a
+    loop of unit solves. [n] defaults to [n_nodes] (the full inverse).
+    Element-wise identical to
+    [Array.init n (Lu.unit_solution (factored t))]; {!Inquiry} builds
+    its influence matrix from the block-row prefix of the first
+    [n_blocks] columns. *)
+
 val model : t -> Rcmodel.t

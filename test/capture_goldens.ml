@@ -1,0 +1,27 @@
+(* Regenerates the end-to-end table goldens used by test_integration.
+
+   Prints the exact strings the reproduction pipeline renders for Tables
+   1-3 and the shape-check report. The committed golden
+   (test/goldens/tables.golden) was captured from the pre-kernel-rewrite
+   tree; the blocked linear-algebra kernels preserve floating-point
+   operation order, so every later tree must reproduce it byte for byte:
+
+     dune exec test/capture_goldens.exe > test/goldens/tables.golden
+
+   Only regenerate the golden when a change is *meant* to move the
+   numbers (new benchmarks, model changes) — never to paper over a
+   kernel regression. *)
+
+let () =
+  let table1 = Core.Experiments.table1 () in
+  let table2 = Core.Experiments.table2 () in
+  let table3 = Core.Experiments.table3 () in
+  print_string (Core.Report.table1 table1);
+  print_newline ();
+  print_string (Core.Report.table2 table2);
+  print_newline ();
+  print_string (Core.Report.table3 table3);
+  print_newline ();
+  print_string
+    (Core.Report.shape_checks
+       (Core.Experiments.shape_checks ~table1 ~table2 ~table3))

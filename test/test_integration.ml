@@ -144,6 +144,53 @@ let test_inquiry_counts_scale_with_candidates () =
   Alcotest.(check bool) "at least tasks x PEs" true (n >= tasks * 4);
   Alcotest.(check bool) "bounded by search budget" true (n < 1_000_000)
 
+let test_tables_match_golden () =
+  (* Byte-for-byte regression against the committed golden, which was
+     captured before the linalg kernels were blocked. The blocked kernels
+     preserve floating-point operation order, so any diff here is a real
+     numerical regression, not rounding noise. Regenerate (only for
+     intentional number changes) with:
+       dune exec test/capture_goldens.exe > test/goldens/tables.golden *)
+  let rendered =
+    let t1 = Lazy.force table1
+    and t2 = Lazy.force table2
+    and t3 = Lazy.force table3 in
+    String.concat "\n"
+      [
+        Core.Report.table1 t1;
+        Core.Report.table2 t2;
+        Core.Report.table3 t3;
+        Core.Report.shape_checks
+          (Core.Experiments.shape_checks ~table1:t1 ~table2:t2 ~table3:t3);
+      ]
+  in
+  let golden =
+    (* dune runtest runs in the (staged) test directory; dune exec from
+       the project root. *)
+    let path =
+      if Sys.file_exists "goldens/tables.golden" then "goldens/tables.golden"
+      else "test/goldens/tables.golden"
+    in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.trim rendered <> String.trim golden then begin
+    (* Locate the first differing line for a readable failure. *)
+    let rl = String.split_on_char '\n' (String.trim rendered)
+    and gl = String.split_on_char '\n' (String.trim golden) in
+    let rec first_diff i = function
+      | r :: rs, g :: gs ->
+          if String.equal r g then first_diff (i + 1) (rs, gs)
+          else Alcotest.failf "tables diverge from golden at line %d:\n got: %s\nwant: %s" i r g
+      | r :: _, [] -> Alcotest.failf "extra output at line %d: %s" i r
+      | [], g :: _ -> Alcotest.failf "missing output at line %d: %s" i g
+      | [], [] -> Alcotest.fail "tables diverge from golden (whitespace only)"
+    in
+    first_diff 1 (rl, gl)
+  end
+
 let test_csv_exports_match_tables () =
   let csv = Core.Report.table1_csv (Lazy.force table1) in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -161,6 +208,7 @@ let () =
           Alcotest.test_case "reductions in band" `Quick test_reductions_in_paper_band;
           Alcotest.test_case "temperatures physical" `Quick
             test_temperatures_in_physical_band;
+          Alcotest.test_case "tables match golden" `Quick test_tables_match_golden;
           Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
         ] );
       ( "figure1",
