@@ -41,11 +41,24 @@ let announce_json path = Printf.printf "BENCH-JSON %s\n" path
    library's own spans. *)
 let phase_times : (string * float) list ref = ref []
 
+(* --only NAME (repeatable) restricts the run to the named phases. *)
+let only_phases =
+  let acc = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--only" && i + 1 < Array.length Sys.argv then
+        acc := Sys.argv.(i + 1) :: !acc)
+    Sys.argv;
+  !acc
+
 let timed_phase name f =
-  let t0 = Unix.gettimeofday () in
-  let v = Core.Trace.with_span ("bench." ^ name) f in
-  phase_times := (name, Unix.gettimeofday () -. t0) :: !phase_times;
-  v
+  if only_phases <> [] && not (List.mem name only_phases) then ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let v = Core.Trace.with_span ("bench." ^ name) f in
+    phase_times := (name, Unix.gettimeofday () -. t0) :: !phase_times;
+    v
+  end
 
 let write_phases () =
   let phases = List.rev !phase_times in
@@ -791,6 +804,131 @@ let kernel_speedups () =
   announce_json "BENCH_kernels.json"
 
 (* ----------------------------------------------------------------------- *)
+(* 4b. Transient replay speedup                                             *)
+(* ----------------------------------------------------------------------- *)
+
+(* The seed transient path replayed a schedule by sampling its power
+   profile on a uniform grid and integrating with RK4 (four full rhs
+   rebuilds and a dense mat-vec per step, all freshly allocated). The
+   event-driven engine turns the same replay into exact power breakpoints
+   and one precomputed-propagator mat-vec per step. Both paths integrate
+   the same periods at the same dt (the largest grid at which RK4 is still
+   stable on this stiff system); the gate is >= 5x on the wall clock, with
+   the per-PE peak agreement reported alongside. *)
+let transient_speedup () =
+  hr "Transient replay — event-driven engine vs the seed RK4 path";
+  let time_min ~samples f =
+    let best = ref infinity in
+    let v = ref None in
+    for _ = 1 to samples do
+      let t0 = Unix.gettimeofday () in
+      let r = Sys.opaque_identity (f ()) in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      v := Some r
+    done;
+    (!best, Option.get !v)
+  in
+  let time_unit = 1e-3 and periods = 40 in
+  Printf.printf "%-5s %9s %7s %10s %10s %10s %8s %9s %6s\n" "bench" "dt"
+    "steps" "rk4" "bw-euler" "engine" "speedup" "Δpeak" "gate";
+  let rows =
+    List.map
+      (fun bench ->
+        let graph = Core.Benchmarks.load bench in
+        let lib = Core.Catalog.platform_library () in
+        let o =
+          Core.Flow.run_platform ~graph ~lib ~policy:Core.Policy.Thermal_aware ()
+        in
+        let s = o.Core.Flow.schedule in
+        let model = Core.Hotspot.model o.Core.Flow.hotspot in
+        let n_pes = Core.Schedule.n_pes s in
+        let profile = Core.Replay.of_schedule ~time_unit ~lib s in
+        let period = Core.Transient.profile_duration profile in
+        let t0 = Core.Transient.initial_ambient model in
+        (* The seed sampling closure, as Metrics.transient_peak and the
+           transient example used to build it. *)
+        let power wall =
+          Core.Metrics.power_profile s ~lib ~time:(Float.rem wall period /. time_unit)
+        in
+        let finite_rk4 dt =
+          let steps = int_of_float (Float.ceil (2.0 *. period /. dt)) in
+          let tr = Core.Transient.rk4 model ~power ~t0 ~dt ~steps in
+          Array.for_all Float.is_finite tr.Core.Transient.temps.(steps)
+        in
+        (* Largest stable RK4 grid: start at the engine's default replay
+           resolution and halve until the explicit integrator survives. *)
+        let dt = ref (period /. 100.0) in
+        while (not (finite_rk4 !dt)) && !dt > period /. 204_800.0 do
+          dt := !dt /. 2.0
+        done;
+        let dt = !dt in
+        let steps = int_of_float (Float.ceil (float_of_int periods *. period /. dt)) in
+        let last_period_peak (tr : Core.Transient.trace) =
+          let start_k = Stdlib.max 0 (steps - int_of_float (period /. dt)) in
+          Array.init n_pes (fun pe ->
+              let peak = ref neg_infinity in
+              for k = start_k to steps do
+                peak := Float.max !peak tr.Core.Transient.temps.(k).(pe)
+              done;
+              !peak)
+        in
+        let t_rk4, peak_rk4 =
+          time_min ~samples:3 (fun () ->
+              last_period_peak (Core.Transient.rk4 model ~power ~t0 ~dt ~steps))
+        in
+        let t_be, _ =
+          time_min ~samples:3 (fun () ->
+              last_period_peak
+                (Core.Transient.backward_euler model ~power ~t0 ~dt ~steps))
+        in
+        let t_engine, peak_engine =
+          time_min ~samples:3 (fun () ->
+              (* A fresh engine per run: factorization, propagator build and
+                 q precomputation are all inside the measurement. *)
+              let engine = Core.Transient.create (Core.Transient.of_model model) in
+              let r = Core.Transient.replay engine ~profile ~t0 ~dt ~periods in
+              Array.sub r.Core.Transient.last_period_peak 0 n_pes)
+        in
+        let speedup = t_rk4 /. Float.max t_engine 1e-12 in
+        let delta =
+          let d = ref 0.0 in
+          Array.iteri
+            (fun pe p -> d := Float.max !d (Float.abs (p -. peak_engine.(pe))))
+            peak_rk4;
+          !d
+        in
+        let gate = if speedup >= 5.0 then "PASS" else "FAIL" in
+        Printf.printf "%-5s %8.2gs %7d %9.1fms %9.1fms %9.1fms %7.1fx %8.3f°C %6s\n"
+          (Core.Graph.name graph) dt steps (1e3 *. t_rk4) (1e3 *. t_be)
+          (1e3 *. t_engine) speedup delta gate;
+        (Core.Graph.name graph, dt, steps, t_rk4, t_be, t_engine, speedup, delta, gate))
+      [ 0; 2 ]
+  in
+  let verdict =
+    if List.for_all (fun (_, _, _, _, _, _, _, _, g) -> g = "PASS") rows then "PASS"
+    else "FAIL"
+  in
+  Printf.printf "transient replay speedup (>= 5x target vs seed RK4): %s\n" verdict;
+  let oc = open_out "BENCH_transient.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"speedup_target\": 5.0,\n  \"benches\": [\n";
+      List.iteri
+        (fun i (name, dt, steps, rk4, be, engine, speedup, delta, gate) ->
+          Printf.fprintf oc
+            "    {\"bench\": %S, \"dt_s\": %.8f, \"steps\": %d, \"rk4_s\": \
+             %.6f, \"backward_euler_s\": %.6f, \"engine_s\": %.6f, \
+             \"speedup_vs_rk4\": %.2f, \"max_peak_delta_C\": %.6f, \"gate\": \
+             %S}%s\n"
+            name dt steps rk4 be engine speedup delta gate
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n  \"speedup_check\": %S\n}\n" verdict);
+  Printf.printf "wrote BENCH_transient.json\n";
+  announce_json "BENCH_transient.json"
+
+(* ----------------------------------------------------------------------- *)
 (* 5. Observability overhead                                                *)
 (* ----------------------------------------------------------------------- *)
 
@@ -1070,6 +1208,7 @@ let () =
   timed_phase "design-space" design_space_exploration;
   timed_phase "parallel-scaling" parallel_scaling;
   timed_phase "kernels" kernel_speedups;
+  timed_phase "transient" transient_speedup;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)
   (match trace_path with

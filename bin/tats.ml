@@ -487,6 +487,128 @@ let dtm_cmd' =
        ~doc:"Simulate runtime dynamic thermal management over each policy.")
     Term.(const run $ bench_arg $ trigger_arg $ passes_arg)
 
+(* --- transient ----------------------------------------------------------- *)
+
+let transient_cmd =
+  let run bench policy arch periods dt time_unit exact csv jobs trace metrics =
+    set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
+    let bench = or_die (parse_bench bench) in
+    let policy = or_die (parse_policy policy) in
+    if periods < 2 then or_die (Error "--periods must be >= 2");
+    if time_unit <= 0.0 then or_die (Error "--time-unit must be positive");
+    let graph = Core.Benchmarks.load bench in
+    let lib, outcome =
+      match arch with
+      | "platform" ->
+          let lib = Core.Catalog.platform_library () in
+          (lib, Core.Flow.run_platform ~graph ~lib ~policy ())
+      | "cosynth" ->
+          let lib = Core.Catalog.default_library () in
+          (lib, Core.Flow.run_cosynthesis ~graph ~lib ~policy ())
+      | other -> or_die (Error (Printf.sprintf "unknown architecture %S" other))
+    in
+    let s = outcome.Core.Flow.schedule in
+    let hotspot = outcome.Core.Flow.hotspot in
+    let profile = Core.Replay.of_schedule ~time_unit ~lib s in
+    let model = Core.Hotspot.model hotspot in
+    let engine = Core.Transient.create (Core.Transient.of_model model) in
+    let dt =
+      match dt with
+      | Some d -> d
+      | None -> Core.Transient.profile_duration profile /. 100.0
+    in
+    let r =
+      Core.Transient.replay ~record:true ~exact engine ~profile
+        ~t0:(Core.Transient.initial_ambient model)
+        ~dt ~periods
+    in
+    Format.printf
+      "%s / %s / %s: replaying %d periods of %.4f s (%d power segments, dt = \
+       %g s, %d steps, %s path)@.@."
+      (Core.Graph.name graph) (Core.Policy.name policy) arch periods
+      (Core.Transient.profile_duration profile)
+      (Core.Transient.profile_segments profile)
+      dt r.Core.Transient.steps
+      (if exact then "exact factored-solve" else "propagator");
+    let steady = outcome.Core.Flow.report in
+    Format.printf "per-PE temperatures (°C):@.";
+    Format.printf "  PE   steady(avg power)   transient peak   ripple@.";
+    Array.iteri
+      (fun pe st ->
+        let p = r.Core.Transient.last_period_peak.(pe) in
+        Format.printf "  %d        %8.2f        %8.2f      %+6.2f@." pe st p (p -. st))
+      steady.Core.Metrics.block_temps;
+    (match r.Core.Transient.trace with
+    | Some tr -> (
+        match
+          Core.Transient.settle_time tr ~steady:r.Core.Transient.final ~tol:2.0
+        with
+        | Some t ->
+            Format.printf "@.transient settles (within 2 °C of its endpoint) by \
+                           t = %.2f s@." t
+        | None -> Format.printf "@.trace did not settle@.")
+    | None -> ());
+    Format.printf "@.engine: %a@." Core.Transient.pp_stats
+      (Core.Transient.stats engine);
+    match (csv, r.Core.Transient.trace) with
+    | Some path, Some tr ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let n = Core.Schedule.n_pes s in
+            output_string oc "time_s";
+            for pe = 0 to n - 1 do
+              Printf.fprintf oc ",pe%d_C" pe
+            done;
+            output_string oc ",spreader_C,sink_C\n";
+            Array.iteri
+              (fun k t ->
+                Printf.fprintf oc "%.9g" t;
+                Array.iter
+                  (fun temp -> Printf.fprintf oc ",%.6f" temp)
+                  tr.Core.Transient.temps.(k);
+                output_char oc '\n')
+              tr.Core.Transient.times);
+        Format.printf "wrote temperature trace to %s@." path
+    | _ -> ()
+  in
+  let periods_arg =
+    Arg.(value & opt int 300
+         & info [ "periods" ] ~docv:"N"
+             ~doc:"Schedule repetitions to replay (warm-up included).")
+  in
+  let dt_arg =
+    Arg.(value & opt (some float) None
+         & info [ "dt" ] ~docv:"SEC"
+             ~doc:"Integration step in seconds (default: period / 100).")
+  in
+  let time_unit_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "time-unit" ] ~docv:"SEC"
+             ~doc:"Seconds of wall clock per schedule time unit.")
+  in
+  let exact_arg =
+    Arg.(value & flag
+         & info [ "exact" ]
+             ~doc:"Use the bit-exact factored-solve stepper instead of the \
+                   precomputed-propagator fast path.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Export the temperature trace (time + per-node °C) as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "transient"
+       ~doc:"Replay a schedule's exact power breakpoints through the \
+             event-driven transient engine and compare against the \
+             steady-state estimate.")
+    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ periods_arg $ dt_arg
+          $ time_unit_arg $ exact_arg $ csv_arg $ jobs_arg $ trace_arg
+          $ metrics_arg)
+
 (* --- robustness ----------------------------------------------------------- *)
 
 let robustness_cmd =
@@ -608,5 +730,6 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; checks_cmd; schedule_cmd;
             thermal_cmd; floorplan_cmd; export_cmd; compare_cmd; dvs_cmd;
-            pareto_cmd; analyze_cmd; dtm_cmd'; robustness_cmd; artifacts_cmd;
+            pareto_cmd; analyze_cmd; dtm_cmd'; transient_cmd; robustness_cmd;
+            artifacts_cmd;
           ]))

@@ -1,7 +1,7 @@
-(* Transient thermal analysis of a real schedule: replay the per-PE power
-   profile of a scheduled benchmark through the RC network's transient
-   integrators, and compare the transient peak against the steady-state
-   estimate the tables use.
+(* Transient thermal analysis of a real schedule: turn a scheduled
+   benchmark into its exact per-PE power breakpoints, replay them through
+   the event-driven transient engine, and compare the transient peak
+   against the steady-state estimate the tables use.
 
    This exercises the part of HotSpot [2] the paper does not use directly
    (the RC dynamics), and shows why the steady-state abstraction is sound
@@ -15,67 +15,49 @@ let () =
   let lib = Core.Catalog.platform_library () in
   let o = Core.Flow.run_platform ~graph ~lib ~policy:Core.Policy.Thermal_aware () in
   let s = o.Core.Flow.schedule in
-  let hotspot = o.Core.Flow.hotspot in
-  let model = Core.Hotspot.model hotspot in
+  let model = Core.Hotspot.model o.Core.Flow.hotspot in
   let n_pes = Core.Schedule.n_pes s in
 
-  (* Piecewise power profile: a PE draws its task's WCPC while the task
-     runs, plus its idle floor. One schedule time unit = 1 ms of wall
-     clock, and the schedule repeats (a periodic application). *)
-  let time_unit = 1e-3 in
-  let period = s.Core.Schedule.makespan *. time_unit in
-  let power_at wall_clock =
-    let t = Float.rem wall_clock period /. time_unit in
-    Array.init n_pes (fun pe ->
-        let idle = s.Core.Schedule.pes.(pe).Core.Pe.kind.Core.Pe.idle_power in
-        let running =
-          List.fold_left
-            (fun acc (e : Core.Schedule.entry) ->
-              if e.Core.Schedule.start <= t && t < e.Core.Schedule.finish then
-                let tt =
-                  (Core.Graph.task graph e.Core.Schedule.task).Core.Task.task_type
-                in
-                acc
-                +. Core.Library.wcpc lib ~task_type:tt
-                     ~kind:s.Core.Schedule.pes.(pe).Core.Pe.kind.Core.Pe.kind_id
-              else acc)
-            0.0
-            (Core.Schedule.tasks_on_pe s pe)
-        in
-        idle +. running)
-  in
+  (* The schedule's piecewise-constant power profile: a PE draws its
+     task's WCPC while the task runs, plus its idle floor. One schedule
+     time unit = 1 ms of wall clock, and the schedule repeats (a periodic
+     application). Where this example used to sample that profile on the
+     integrator's grid, Replay.of_schedule now extracts the exact
+     breakpoints. *)
+  let profile = Core.Replay.of_schedule ~time_unit:1e-3 ~lib s in
+  let period = Core.Transient.profile_duration profile in
+  let periods = 300 in
 
   Format.printf "Schedule: %a@." Core.Schedule.pp s;
-  Format.printf "Replaying %.0f periods of %.3f s through backward Euler...@.@."
-    300.0 period;
+  Format.printf
+    "Replaying %d periods of %.3f s (%d power segments) through the \
+     event-driven engine...@.@."
+    periods period
+    (Core.Transient.profile_segments profile);
 
-  let t0 = Core.Transient.initial_ambient model in
-  let dt = 5e-3 in
-  let steps = int_of_float (300.0 *. period /. dt) in
-  let trace = Core.Transient.backward_euler model ~power:power_at ~t0 ~dt ~steps in
-
-  (* Transient block peaks over the last ten periods (warmed up). *)
-  let start_k = steps - int_of_float (10.0 *. period /. dt) in
-  let peak = Array.make n_pes neg_infinity in
-  for k = start_k to steps do
-    for pe = 0 to n_pes - 1 do
-      peak.(pe) <- Float.max peak.(pe) trace.Core.Transient.temps.(k).(pe)
-    done
-  done;
+  let engine = Core.Transient.create (Core.Transient.of_model model) in
+  let r =
+    Core.Transient.replay ~record:true engine ~profile
+      ~t0:(Core.Transient.initial_ambient model)
+      ~dt:(period /. 100.0) ~periods
+  in
 
   let steady = o.Core.Flow.report in
   Format.printf "per-PE temperatures (°C):@.";
   Format.printf "  PE   steady(avg power)   transient peak   ripple@.";
   Array.iteri
     (fun pe p ->
-      let st = steady.Core.Metrics.block_temps.(pe) in
-      Format.printf "  %d        %8.2f        %8.2f      %+6.2f@." pe st p (p -. st))
-    peak;
+      if pe < n_pes then
+        let st = steady.Core.Metrics.block_temps.(pe) in
+        Format.printf "  %d        %8.2f        %8.2f      %+6.2f@." pe st p (p -. st))
+    r.Core.Transient.last_period_peak;
 
-  match
-    Core.Transient.settle_time trace
-      ~steady:trace.Core.Transient.temps.(steps)
-      ~tol:2.0
-  with
+  (match
+     Core.Transient.settle_time
+       (Option.get r.Core.Transient.trace)
+       ~steady:r.Core.Transient.final ~tol:2.0
+   with
   | Some t -> Format.printf "@.Thermal transient settles (within 2 °C) by t = %.1f s.@." t
-  | None -> Format.printf "@.Trace did not settle (unexpected).@."
+  | None -> Format.printf "@.Trace did not settle (unexpected).@.");
+
+  Format.printf "@.engine: %a@." Core.Transient.pp_stats (Core.Transient.stats engine)

@@ -274,3 +274,55 @@ let floorplan_study ?(seeds = [ 1; 2; 3; 4 ]) ?(n_blocks = 6) () =
           /. Float.max (Placement.die_area area_only.Ga.best_placement) 1e-12;
       })
     seeds
+
+type transient_demo = {
+  t_bench : string;
+  period_s : float;
+  dt_s : float;
+  t_periods : int;
+  t_steps : int;
+  pe_steady : float array;
+  pe_transient_peak : float array;
+  dtm_makespan : float;
+  dtm_peak : float;
+  dtm_throttled : float;
+}
+
+let transient_demo ?(bench = 0) ?(periods = 25) () =
+  let module Replay = Tats_sched.Replay in
+  let module Transient = Tats_thermal.Transient in
+  let module Dtm = Tats_sched.Dtm in
+  let module Hotspot = Tats_thermal.Hotspot in
+  let module Schedule = Tats_sched.Schedule in
+  let graph = Benchmarks.load bench in
+  let lib = Catalog.platform_library () in
+  let o = Flow.run_platform ~graph ~lib ~policy:Policy.Thermal_aware () in
+  let s = o.Flow.schedule in
+  let model = Hotspot.model o.Flow.hotspot in
+  let n_pes = Schedule.n_pes s in
+  let profile = Replay.of_schedule ~lib s in
+  let period_s = Transient.profile_duration profile in
+  let dt_s = period_s /. 100.0 in
+  let engine = Transient.create (Transient.of_model model) in
+  let r =
+    Transient.replay engine ~profile
+      ~t0:(Transient.initial_ambient model)
+      ~dt:dt_s ~periods
+  in
+  let dtm =
+    Dtm.simulate
+      ~params:{ Tats_sched.Dtm.default_params with Tats_sched.Dtm.trigger = 70.0 }
+      ~lib ~hotspot:o.Flow.hotspot s
+  in
+  {
+    t_bench = Tats_taskgraph.Graph.name graph;
+    period_s;
+    dt_s;
+    t_periods = periods;
+    t_steps = r.Transient.steps;
+    pe_steady = Array.sub o.Flow.report.Metrics.block_temps 0 n_pes;
+    pe_transient_peak = Array.sub r.Transient.last_period_peak 0 n_pes;
+    dtm_makespan = dtm.Dtm.makespan;
+    dtm_peak = dtm.Dtm.peak_temperature;
+    dtm_throttled = dtm.Dtm.throttled_fraction;
+  }

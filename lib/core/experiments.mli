@@ -82,3 +82,25 @@ val floorplan_study : ?seeds:int list -> ?n_blocks:int -> unit -> floorplan_stud
     against the thermal-aware objective (area + peak temperature). The
     thermal-aware floorplan separates hot blocks at a small area cost.
     [seeds] defaults to [1; 2; 3; 4]; [n_blocks] to 6. *)
+
+type transient_demo = {
+  t_bench : string;
+  period_s : float;          (** one schedule period, seconds *)
+  dt_s : float;              (** integration step, seconds *)
+  t_periods : int;
+  t_steps : int;             (** integration steps the replay took *)
+  pe_steady : float array;   (** steady-state per-PE temperature, °C *)
+  pe_transient_peak : float array;
+      (** per-PE peak over the last replayed period, °C *)
+  dtm_makespan : float;
+  dtm_peak : float;
+  dtm_throttled : float;
+}
+
+val transient_demo : ?bench:int -> ?periods:int -> unit -> transient_demo
+(** Deterministic end-to-end exercise of the event-driven transient engine
+    and the DTM simulator on one platform benchmark (default Bm1,
+    thermal-aware policy): replay the schedule's exact power breakpoints
+    for [periods] (default 25) periods at dt = period/100, and run DTM with
+    a 70 °C trigger. The golden test byte-compares
+    {!Report.transient_demo} of this value. *)

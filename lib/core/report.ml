@@ -215,3 +215,26 @@ let table1_markdown rows =
               (paper_table1_cell r.Experiments.bench r.Experiments.policy `Platform))))
     rows;
   Buffer.contents buf
+
+let transient_demo (d : Experiments.transient_demo) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Transient replay — %s, thermal-aware platform schedule\n\
+        period %.6f s, dt %.6f s, %d periods, %d steps\n"
+       d.Experiments.t_bench d.Experiments.period_s d.Experiments.dt_s
+       d.Experiments.t_periods d.Experiments.t_steps);
+  Buffer.add_string buf "PE  steady °C  transient peak °C  ripple °C\n";
+  Array.iteri
+    (fun pe peak ->
+      let st = d.Experiments.pe_steady.(pe) in
+      Buffer.add_string buf
+        (Printf.sprintf "%2d   %8.4f           %8.4f    %+7.4f\n" pe st peak
+           (peak -. st)))
+    d.Experiments.pe_transient_peak;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "DTM (trigger 70 °C): makespan %.4f, peak %.4f °C, throttled %.6f\n"
+       d.Experiments.dtm_makespan d.Experiments.dtm_peak
+       d.Experiments.dtm_throttled);
+  Buffer.contents buf

@@ -24,3 +24,8 @@ val versus_markdown : title:string -> paper:Paper_data.versus array ->
     cells side by side (the format EXPERIMENTS.md uses). *)
 
 val table1_markdown : Experiments.table1_row list -> string
+
+val transient_demo : Experiments.transient_demo -> string
+(** Fixed-format rendering of {!Experiments.transient_demo} — the
+    transient/DTM golden (test/goldens/transient.golden) byte-compares
+    this string. *)

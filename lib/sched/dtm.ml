@@ -6,8 +6,7 @@ module Comm = Tats_techlib.Comm
 module Hotspot = Tats_thermal.Hotspot
 module Rcmodel = Tats_thermal.Rcmodel
 module Package = Tats_thermal.Package
-module Matrix = Tats_linalg.Matrix
-module Lu = Tats_linalg.Lu
+module Transient = Tats_thermal.Transient
 
 type params = {
   trigger : float;
@@ -36,29 +35,6 @@ type result = {
   meets_deadline : bool;
 }
 
-(* One backward-Euler thermal stepper, factored once. *)
-type stepper = {
-  factored : Lu.t;
-  c_over_dt : float array;
-  model : Rcmodel.t;
-}
-
-let make_stepper model ~dt_seconds =
-  let a = Rcmodel.system_matrix model in
-  let c = Rcmodel.capacitances model in
-  let n = Rcmodel.n_nodes model in
-  let lhs = Matrix.copy a in
-  let c_over_dt = Array.map (fun ci -> ci /. dt_seconds) c in
-  for i = 0 to n - 1 do
-    Matrix.add_to lhs i i c_over_dt.(i)
-  done;
-  { factored = Lu.factor lhs; c_over_dt; model }
-
-let step stepper temps ~power =
-  let rhs = Rcmodel.rhs stepper.model ~power in
-  let b = Array.mapi (fun i r -> r +. (stepper.c_over_dt.(i) *. temps.(i))) rhs in
-  Lu.solve_factored stepper.factored b
-
 let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
   if params.throttle_factor <= 0.0 || params.throttle_factor >= 1.0 then
     invalid_arg "Dtm.simulate: throttle factor must be in (0,1)";
@@ -73,7 +49,11 @@ let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
   let n = Graph.n_tasks graph in
   let comm = Library.comm lib in
   let model = Hotspot.model hotspot in
-  let stepper = make_stepper model ~dt_seconds:(params.dt *. params.time_unit) in
+  (* The event-driven engine's exact stepper: the same factored
+     (C/dt + A), the same operand order — bit-identical to the in-line
+     backward-Euler stepper this loop originally carried. *)
+  let engine = Transient.create (Transient.of_model model) in
+  let dt_seconds = params.dt *. params.time_unit in
   (* Per-PE task queues, in the schedule's start order. *)
   let queues = Array.init n_pes (fun pe -> ref (Schedule.tasks_on_pe s pe)) in
   let wcet_of task =
@@ -89,7 +69,7 @@ let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
   if params.passes < 1 then invalid_arg "Dtm.simulate: need at least one pass";
   let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) s.Schedule.pes in
   (* Thermal and DTM state persist across passes; execution state resets. *)
-  let temps = ref (Array.make (Rcmodel.n_nodes model) (Rcmodel.package model).Package.ambient) in
+  let temps = Array.make (Rcmodel.n_nodes model) (Rcmodel.package model).Package.ambient in
   let throttled = Array.make n_pes false in
   let peak = ref (Rcmodel.package model).Package.ambient in
   let last = ref None in
@@ -130,7 +110,7 @@ let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
       in
       (* Update DTM state from current temperatures. *)
       for pe = 0 to n_pes - 1 do
-        let t = !temps.(pe) in
+        let t = temps.(pe) in
         if t > params.trigger then throttled.(pe) <- true
         else if t < params.trigger -. params.hysteresis then throttled.(pe) <- false
       done;
@@ -153,9 +133,9 @@ let simulate ?(params = default_params) ~lib ~hotspot (s : Schedule.t) =
                 queues.(pe) := List.tl !(queues.(pe))
               end)
         running;
-      temps := step stepper !temps ~power;
+      Transient.step engine ~dt:dt_seconds ~power temps;
       for pe = 0 to n_pes - 1 do
-        peak := Float.max !peak !temps.(pe)
+        peak := Float.max !peak temps.(pe)
       done;
       time := !time +. params.dt
     done;

@@ -95,25 +95,8 @@ let transient_peak (s : Schedule.t) ~lib ~hotspot ?(time_unit = 1e-3) ?(periods 
   if Hotspot.n_blocks hotspot <> Schedule.n_pes s then
     invalid_arg "Metrics.transient_peak: hotspot must have one block per PE";
   if periods < 2 then invalid_arg "Metrics.transient_peak: need at least 2 periods";
-  let period = Float.max (s.makespan *. time_unit) 1e-9 in
-  let dt = match dt with Some d -> d | None -> period /. 100.0 in
-  let model = Hotspot.model hotspot in
-  let power wall =
-    let t = Float.rem wall period /. time_unit in
-    power_profile s ~lib ~time:t
-  in
-  let t0 = Tats_thermal.Transient.initial_ambient model in
-  let steps = int_of_float (Float.ceil (float_of_int periods *. period /. dt)) in
-  let trace = Tats_thermal.Transient.backward_euler model ~power ~t0 ~dt ~steps in
-  let n = Schedule.n_pes s in
-  let start_k = Stdlib.max 0 (steps - int_of_float (period /. dt)) in
-  let peak = Array.make n neg_infinity in
-  for k = start_k to steps do
-    for pe = 0 to n - 1 do
-      peak.(pe) <- Float.max peak.(pe) trace.Tats_thermal.Transient.temps.(k).(pe)
-    done
-  done;
-  peak
+  let profile = Replay.of_schedule ~time_unit ~lib s in
+  Replay.peaks ~periods ?dt ~hotspot profile
 
 let makespan_lower_bound graph ~lib ~n_pes =
   if n_pes < 1 then invalid_arg "Metrics.makespan_lower_bound: no PEs";

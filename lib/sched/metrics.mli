@@ -66,11 +66,12 @@ val transient_peak :
   ?dt:float ->
   unit ->
   float array
-(** Replays the schedule's power profile periodically through the RC
-    network's backward-Euler integrator and returns the per-PE peak
-    transient temperature over the last period (after warm-up).
-    [time_unit] maps one schedule time unit to seconds (default 1e-3),
-    [periods] defaults to 50, [dt] to one hundredth of the period. *)
+(** Replays the schedule's power profile periodically through the
+    event-driven transient engine ({!Replay.of_schedule} breakpoints, the
+    propagator fast path) and returns the per-PE peak transient
+    temperature over the last period (after warm-up). [time_unit] maps one
+    schedule time unit to seconds (default 1e-3), [periods] defaults to
+    50, [dt] to one hundredth of the period. *)
 
 val makespan_lower_bound :
   Tats_taskgraph.Graph.t -> lib:Library.t -> n_pes:int -> float

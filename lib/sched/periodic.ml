@@ -287,6 +287,30 @@ let thermal_report ?(leakage = true) t ~hotspot =
     avg_temp = Stats.mean block_temps;
   }
 
+let transient_peak ?(time_unit = 1e-3) ?(periods = 20) ?dt t ~hotspot =
+  if Hotspot.n_blocks hotspot <> Array.length t.pes then
+    invalid_arg "Periodic.transient_peak: hotspot must have one block per PE";
+  let idle = Array.map (fun (i : Pe.inst) -> i.Pe.kind.Pe.idle_power) t.pes in
+  (* entry.energy = wcet x wcpc and finish - start = wcet, so the
+     interval's draw is exactly the job's WCPC. *)
+  let intervals =
+    Array.to_list t.entries
+    |> List.filter (fun e -> e.finish > e.start)
+    |> List.map (fun e ->
+           {
+             Replay.pe = e.pe;
+             start = e.start;
+             finish = e.finish;
+             power = e.energy /. (e.finish -. e.start);
+           })
+  in
+  let profile =
+    Replay.profile_of_intervals
+      ~duration:(Float.max t.hyper 1e-9)
+      ~time_unit ~idle intervals
+  in
+  Replay.peaks ~periods ?dt ~hotspot profile
+
 let utilization t =
   let busy = Array.fold_left (fun acc e -> acc +. (e.finish -. e.start)) 0.0 t.entries in
   busy /. (float_of_int (Array.length t.pes) *. Float.max t.hyper 1e-9)

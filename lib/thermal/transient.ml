@@ -1,19 +1,423 @@
 module Matrix = Tats_linalg.Matrix
 module Lu = Tats_linalg.Lu
+module Trace = Tats_util.Trace
+module Metricsreg = Tats_util.Metricsreg
 
 type trace = { times : float array; temps : float array array }
 
 let initial_ambient model =
   Array.make (Rcmodel.n_nodes model) (Rcmodel.package model).Package.ambient
 
-let derivative model c_inv a temps rhs =
-  let flow = Matrix.mul_vec a temps in
-  Array.init (Rcmodel.n_nodes model) (fun i -> c_inv.(i) *. (rhs.(i) -. flow.(i)))
+(* Fleet-wide engine counters (every instance accumulates into the same
+   registry cells, like Inquiry's). *)
+let m_steps = Metricsreg.counter "transient.steps"
+let m_factorizations = Metricsreg.counter "transient.factorizations"
+let m_propagator_builds = Metricsreg.counter "transient.propagator_builds"
+let m_q_hits = Metricsreg.counter "transient.q_cache_hits"
+let m_q_misses = Metricsreg.counter "transient.q_cache_misses"
+
+(* ------------------------------------------------------------------ *)
+(* The event-driven engine                                            *)
+(* ------------------------------------------------------------------ *)
+
+type system = {
+  a : Matrix.t;
+  c : float array;
+  base_rhs : float array;
+  n_inputs : int;
+}
+
+let system ~a ~c ~base_rhs ~n_inputs =
+  let n = Array.length c in
+  if Matrix.rows a <> n || Matrix.cols a <> n then
+    invalid_arg "Transient.system: matrix must be n x n for n capacitances";
+  if Array.length base_rhs <> n then
+    invalid_arg "Transient.system: base_rhs must have one entry per node";
+  if n_inputs < 0 || n_inputs > n then
+    invalid_arg "Transient.system: n_inputs out of range";
+  Array.iter
+    (fun ci ->
+      if not (ci > 0.0) then
+        invalid_arg "Transient.system: capacitances must be positive")
+    c;
+  { a = Matrix.copy a; c = Array.copy c; base_rhs = Array.copy base_rhs; n_inputs }
+
+let of_model model =
+  (* base_rhs = rhs at zero power, so u(p).(i) = p.(i) +. base_rhs.(i)
+     reproduces Rcmodel.rhs bit for bit (inject +. ambient term, in that
+     order, with a zero inject contributing +. 0.0). *)
+  let zero = Array.make (Rcmodel.n_blocks model) 0.0 in
+  {
+    a = Rcmodel.system_matrix model;
+    c = Rcmodel.capacitances model;
+    base_rhs = Rcmodel.rhs model ~power:zero;
+    n_inputs = Rcmodel.n_blocks model;
+  }
+
+let system_size sys = Array.length sys.c
+let system_inputs sys = sys.n_inputs
+
+(* State for one distinct step size: the factored (C/dt + A), the lazily
+   built propagator columns of M = (C/dt + A)^-1 (C/dt), and the
+   quantized-power q cache. *)
+type stepper = {
+  factored : Lu.t;
+  c_over_dt : float array;
+  mutable prop : float array array option; (* column j = M e_j *)
+  q_cache : (int64 array, float array) Hashtbl.t;
+}
+
+type counters = {
+  mutable k_steps : int;
+  mutable k_factorizations : int;
+  mutable k_propagator_builds : int;
+  mutable k_q_hits : int;
+  mutable k_q_misses : int;
+}
+
+type t = {
+  sys : system;
+  steppers : (int64, stepper) Hashtbl.t; (* keyed by the bits of dt *)
+  rhs_buf : float array;
+  b_buf : float array;
+  x_buf : float array;
+  k : counters;
+}
+
+let create sys =
+  let n = system_size sys in
+  {
+    sys;
+    steppers = Hashtbl.create 8;
+    rhs_buf = Array.make n 0.0;
+    b_buf = Array.make n 0.0;
+    x_buf = Array.make n 0.0;
+    k =
+      {
+        k_steps = 0;
+        k_factorizations = 0;
+        k_propagator_builds = 0;
+        k_q_hits = 0;
+        k_q_misses = 0;
+      };
+  }
+
+let check_power sys power =
+  if Array.length power <> sys.n_inputs then
+    invalid_arg
+      (Printf.sprintf
+         "Transient: power vector has %d entries; the model expects one per \
+          input block (%d)"
+         (Array.length power) sys.n_inputs)
+
+let check_state sys temps =
+  if Array.length temps <> system_size sys then
+    invalid_arg "Transient: temperature vector must have one entry per node"
+
+(* u(power) — same operand order as Rcmodel.rhs_into. *)
+let rhs_into sys ~power dst =
+  check_power sys power;
+  for i = 0 to system_size sys - 1 do
+    let inject = if i < sys.n_inputs then power.(i) else 0.0 in
+    dst.(i) <- inject +. sys.base_rhs.(i)
+  done
+
+let stepper_for t ~dt =
+  if not (Float.is_finite dt && dt > 0.0) then
+    invalid_arg "Transient: dt must be positive and finite";
+  let key = Int64.bits_of_float dt in
+  match Hashtbl.find_opt t.steppers key with
+  | Some s -> s
+  | None ->
+      Trace.with_span "transient.factor" @@ fun () ->
+      Metricsreg.incr m_factorizations;
+      t.k.k_factorizations <- t.k.k_factorizations + 1;
+      let n = system_size t.sys in
+      let lhs = Matrix.copy t.sys.a in
+      let c_over_dt = Array.map (fun ci -> ci /. dt) t.sys.c in
+      for i = 0 to n - 1 do
+        Matrix.add_to lhs i i c_over_dt.(i)
+      done;
+      let s =
+        { factored = Lu.factor lhs; c_over_dt; prop = None; q_cache = Hashtbl.create 64 }
+      in
+      Hashtbl.replace t.steppers key s;
+      s
+
+let count_step t =
+  Metricsreg.incr m_steps;
+  t.k.k_steps <- t.k.k_steps + 1
+
+(* The exact backward-Euler step, given an already-evaluated right-hand
+   side: b = (C/dt) T + u, solve (C/dt + A) T' = b.  The addition order
+   matches the seed integrator (commutativity makes c/dt*T +. u identical
+   to u +. c/dt*T). *)
+let step_with_rhs t st rhs temps =
+  let n = system_size t.sys in
+  for i = 0 to n - 1 do
+    t.b_buf.(i) <- (st.c_over_dt.(i) *. temps.(i)) +. rhs.(i)
+  done;
+  Lu.solve_factored_into st.factored ~b:t.b_buf ~x:t.x_buf;
+  Array.blit t.x_buf 0 temps 0 n;
+  count_step t
+
+let step t ~dt ~power temps =
+  check_state t.sys temps;
+  let st = stepper_for t ~dt in
+  rhs_into t.sys ~power t.rhs_buf;
+  step_with_rhs t st t.rhs_buf temps
+
+let propagator t st =
+  match st.prop with
+  | Some cols -> cols
+  | None ->
+      Trace.with_span "transient.propagator" @@ fun () ->
+      Metricsreg.incr m_propagator_builds;
+      t.k.k_propagator_builds <- t.k.k_propagator_builds + 1;
+      let n = system_size t.sys in
+      let rhs =
+        Array.init n (fun j ->
+            let e = Array.make n 0.0 in
+            e.(j) <- st.c_over_dt.(j);
+            e)
+      in
+      let cols = Lu.solve_many st.factored rhs in
+      st.prop <- Some cols;
+      cols
+
+(* 1 nW quantization, the Inquiry cache-key scheme: far below any
+   physically meaningful power difference, fine enough that only repeats
+   of the same vector collide. *)
+let quantize p = Int64.of_float (Float.round (p *. 1e9))
+
+let max_q_cache_entries = 1 lsl 16
+
+let q_for t st ~power =
+  check_power t.sys power;
+  let key = Array.map quantize power in
+  match Hashtbl.find_opt st.q_cache key with
+  | Some q ->
+      Metricsreg.incr m_q_hits;
+      t.k.k_q_hits <- t.k.k_q_hits + 1;
+      q
+  | None ->
+      Metricsreg.incr m_q_misses;
+      t.k.k_q_misses <- t.k.k_q_misses + 1;
+      rhs_into t.sys ~power t.rhs_buf;
+      let q = Array.make (system_size t.sys) 0.0 in
+      Lu.solve_factored_into st.factored ~b:t.rhs_buf ~x:q;
+      if Hashtbl.length st.q_cache >= max_q_cache_entries then
+        Hashtbl.reset st.q_cache;
+      Hashtbl.replace st.q_cache key q;
+      q
+
+(* T' = M T + q as a column-major saxpy sweep over the propagator. *)
+let step_with_q t st q temps =
+  let n = system_size t.sys in
+  let cols = propagator t st in
+  Array.blit q 0 t.x_buf 0 n;
+  for j = 0 to n - 1 do
+    let tj = temps.(j) in
+    if tj <> 0.0 then begin
+      let col = cols.(j) in
+      for i = 0 to n - 1 do
+        t.x_buf.(i) <- t.x_buf.(i) +. (tj *. col.(i))
+      done
+    end
+  done;
+  Array.blit t.x_buf 0 temps 0 n;
+  count_step t
+
+let step_fast t ~dt ~power temps =
+  check_state t.sys temps;
+  let st = stepper_for t ~dt in
+  let q = q_for t st ~power in
+  step_with_q t st q temps
+
+(* ------------------------------------------------------------------ *)
+(* Piecewise-constant profiles and replay                             *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  duration : float;
+  starts : float array;
+  powers : float array array;
+}
+
+let profile ~duration ~segments =
+  if not (Float.is_finite duration && duration > 0.0) then
+    invalid_arg "Transient.profile: duration must be positive and finite";
+  (match segments with
+  | [] -> invalid_arg "Transient.profile: no segments"
+  | (s0, _) :: _ ->
+      if s0 <> 0.0 then invalid_arg "Transient.profile: first segment must start at 0");
+  let starts = Array.of_list (List.map fst segments) in
+  let powers = Array.of_list (List.map (fun (_, p) -> Array.copy p) segments) in
+  let n_inputs = Array.length powers.(0) in
+  Array.iteri
+    (fun k s ->
+      if not (Float.is_finite s) || s < 0.0 || s >= duration then
+        invalid_arg "Transient.profile: segment start outside [0, duration)";
+      if k > 0 && s <= starts.(k - 1) then
+        invalid_arg "Transient.profile: segment starts must ascend strictly";
+      if Array.length powers.(k) <> n_inputs then
+        invalid_arg "Transient.profile: inconsistent power vector lengths")
+    starts;
+  { duration; starts; powers }
+
+let profile_duration p = p.duration
+let profile_segments p = Array.length p.starts
+
+let profile_power p time =
+  let t = Float.rem (Float.rem time p.duration +. p.duration) p.duration in
+  let k = ref 0 in
+  Array.iteri (fun i s -> if s <= t then k := i) p.starts;
+  Array.copy p.powers.(!k)
+
+type replay_result = {
+  final : float array;
+  peak : float array;
+  last_period_peak : float array;
+  steps : int;
+  trace : trace option;
+}
+
+(* Segment plan: [full] whole steps of [dt], then one remainder step that
+   lands exactly on the breakpoint.  The remainder is the same float every
+   period, so its factorization is computed once and cached. *)
+type plan_entry = { power : float array; full : int; rem : float }
+
+let plan_of_profile p ~dt =
+  let n_seg = Array.length p.starts in
+  Array.init n_seg (fun k ->
+      let seg_end = if k + 1 < n_seg then p.starts.(k + 1) else p.duration in
+      let len = seg_end -. p.starts.(k) in
+      let full = int_of_float (Float.floor ((len /. dt) +. 1e-9)) in
+      let rem = len -. (float_of_int full *. dt) in
+      let rem = if rem <= 1e-9 *. dt then 0.0 else rem in
+      { power = p.powers.(k); full; rem })
+
+let replay ?(record = false) ?(exact = false) t ~profile:p ~t0 ~dt ~periods =
+  check_state t.sys t0;
+  if periods < 1 then invalid_arg "Transient.replay: need at least one period";
+  if not (Float.is_finite dt && dt > 0.0) then
+    invalid_arg "Transient.replay: dt must be positive and finite";
+  Array.iter (check_power t.sys) p.powers;
+  let n = system_size t.sys in
+  let plan = plan_of_profile p ~dt in
+  let steps_per_period =
+    Array.fold_left (fun acc e -> acc + e.full + if e.rem > 0.0 then 1 else 0) 0 plan
+  in
+  let total = periods * steps_per_period in
+  Trace.with_span "transient.replay"
+    ~args:
+      [
+        ("periods", Trace.Int periods);
+        ("segments", Trace.Int (Array.length plan));
+        ("steps", Trace.Int total);
+        ("exact", Trace.Bool exact);
+      ]
+  @@ fun () ->
+  let st_dt = stepper_for t ~dt in
+  (* Precompute the per-segment drive once: q vectors on the fast path
+     (rhs solved through the factorization), plain right-hand sides on the
+     exact path.  Either is constant across periods. *)
+  let drive_full =
+    Array.map
+      (fun e ->
+        if exact then begin
+          let rhs = Array.make n 0.0 in
+          rhs_into t.sys ~power:e.power rhs;
+          rhs
+        end
+        else q_for t st_dt ~power:e.power)
+      plan
+  in
+  let rem_steppers =
+    Array.map (fun e -> if e.rem > 0.0 then Some (stepper_for t ~dt:e.rem) else None) plan
+  in
+  let drive_rem =
+    Array.mapi
+      (fun k e ->
+        match rem_steppers.(k) with
+        | None -> None
+        | Some st_rem ->
+            if exact then Some drive_full.(k) (* rhs is dt-independent *)
+            else Some (q_for t st_rem ~power:e.power))
+      plan
+  in
+  let temps = Array.copy t0 in
+  let peak = Array.copy t0 in
+  let last_period_peak = Array.copy t0 in
+  let times = if record then Array.make (total + 1) 0.0 else [||] in
+  let temps_trace = if record then Array.make (total + 1) [||] else [||] in
+  if record then temps_trace.(0) <- Array.copy t0;
+  let wall = ref 0.0 in
+  let k_step = ref 0 in
+  let in_last = ref (periods = 1) in
+  let after_step h =
+    incr k_step;
+    wall := !wall +. h;
+    for i = 0 to n - 1 do
+      if temps.(i) > peak.(i) then peak.(i) <- temps.(i);
+      if !in_last && temps.(i) > last_period_peak.(i) then
+        last_period_peak.(i) <- temps.(i)
+    done;
+    if record then begin
+      times.(!k_step) <- !wall;
+      temps_trace.(!k_step) <- Array.copy temps
+    end
+  in
+  for period = 1 to periods do
+    if period = periods then begin
+      in_last := true;
+      Array.blit temps 0 last_period_peak 0 n
+    end;
+    Array.iteri
+      (fun k e ->
+        let advance st_h drive h =
+          if exact then step_with_rhs t st_h drive temps
+          else step_with_q t st_h drive temps;
+          after_step h
+        in
+        for _ = 1 to e.full do
+          advance st_dt drive_full.(k) dt
+        done;
+        match (rem_steppers.(k), drive_rem.(k)) with
+        | Some st_rem, Some drive -> advance st_rem drive e.rem
+        | _ -> ())
+      plan
+  done;
+  {
+    final = temps;
+    peak;
+    last_period_peak;
+    steps = total;
+    trace = (if record then Some { times; temps = temps_trace } else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-trace integrators                                            *)
+(* ------------------------------------------------------------------ *)
 
 let check_args model t0 dt steps =
   if Array.length t0 <> Rcmodel.n_nodes model then
     invalid_arg "Transient: t0 must cover all nodes";
   if dt <= 0.0 || steps < 1 then invalid_arg "Transient: bad dt/steps"
+
+let checked_power model ~power time =
+  let p = power time in
+  if Array.length p <> Rcmodel.n_blocks model then
+    invalid_arg
+      (Printf.sprintf
+         "Transient: power callback returned %d entries at t = %g; expected \
+          one per block (%d)"
+         (Array.length p) time (Rcmodel.n_blocks model));
+  p
+
+let derivative model c_inv a temps rhs =
+  let flow = Matrix.mul_vec a temps in
+  Array.init (Rcmodel.n_nodes model) (fun i -> c_inv.(i) *. (rhs.(i) -. flow.(i)))
 
 let rk4 model ~power ~t0 ~dt ~steps =
   check_args model t0 dt steps;
@@ -25,7 +429,7 @@ let rk4 model ~power ~t0 ~dt ~steps =
   temps.(0) <- Array.copy t0;
   for k = 1 to steps do
     let t_prev = times.(k - 1) and y = temps.(k - 1) in
-    let rhs_at time = Rcmodel.rhs model ~power:(power time) in
+    let rhs_at time = Rcmodel.rhs model ~power:(checked_power model ~power time) in
     let f time y = derivative model c_inv a y (rhs_at time) in
     let add y k scale = Array.init n (fun i -> y.(i) +. (scale *. k.(i))) in
     let k1 = f t_prev y in
@@ -41,23 +445,18 @@ let rk4 model ~power ~t0 ~dt ~steps =
 
 let backward_euler model ~power ~t0 ~dt ~steps =
   check_args model t0 dt steps;
-  let a = Rcmodel.system_matrix model in
-  let c = Rcmodel.capacitances model in
-  let n = Rcmodel.n_nodes model in
-  (* (C/dt + A) T_{k+1} = C/dt T_k + rhs(t_{k+1}) *)
-  let lhs = Matrix.copy a in
-  for i = 0 to n - 1 do
-    Matrix.add_to lhs i i (c.(i) /. dt)
-  done;
-  let factored = Lu.factor lhs in
+  (* (C/dt + A) T_{k+1} = C/dt T_k + rhs(t_{k+1}) — run on the engine's
+     exact stepper; same factorization, same operand order, bit-identical
+     to the original in-line integrator. *)
+  let engine = create (of_model model) in
   let times = Array.make (steps + 1) 0.0 in
   let temps = Array.make (steps + 1) t0 in
   temps.(0) <- Array.copy t0;
+  let state = Array.copy t0 in
   for k = 1 to steps do
     let time = float_of_int k *. dt in
-    let rhs = Rcmodel.rhs model ~power:(power time) in
-    let b = Array.init n (fun i -> (c.(i) /. dt *. temps.(k - 1).(i)) +. rhs.(i)) in
-    temps.(k) <- Lu.solve_factored factored b;
+    step engine ~dt ~power:(checked_power model ~power time) state;
+    temps.(k) <- Array.copy state;
     times.(k) <- time
   done;
   { times; temps }
@@ -79,3 +478,33 @@ let settle_time trace ~steady ~tol =
   match scan (n - 1) None with
   | Some k -> Some trace.times.(k)
   | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  steps : int;
+  factorizations : int;
+  propagator_builds : int;
+  q_cache_hits : int;
+  q_cache_misses : int;
+}
+
+let stats t =
+  {
+    steps = t.k.k_steps;
+    factorizations = t.k.k_factorizations;
+    propagator_builds = t.k.k_propagator_builds;
+    q_cache_hits = t.k.k_q_hits;
+    q_cache_misses = t.k.k_q_misses;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>steps             %d@,factorizations    %d@,propagator builds %d@,\
+     q-cache hits      %d (%.1f%%)@,q-cache misses    %d@]"
+    s.steps s.factorizations s.propagator_builds s.q_cache_hits
+    (let total = s.q_cache_hits + s.q_cache_misses in
+     if total = 0 then 0.0 else 100.0 *. float_of_int s.q_cache_hits /. float_of_int total)
+    s.q_cache_misses

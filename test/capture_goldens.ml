@@ -1,18 +1,24 @@
-(* Regenerates the end-to-end table goldens used by test_integration.
+(* Regenerates the end-to-end goldens used by test_integration.
 
-   Prints the exact strings the reproduction pipeline renders for Tables
-   1-3 and the shape-check report. The committed golden
+   With no argument, prints the exact strings the reproduction pipeline
+   renders for Tables 1-3 and the shape-check report. The committed golden
    (test/goldens/tables.golden) was captured from the pre-kernel-rewrite
    tree; the blocked linear-algebra kernels preserve floating-point
    operation order, so every later tree must reproduce it byte for byte:
 
      dune exec test/capture_goldens.exe > test/goldens/tables.golden
 
-   Only regenerate the golden when a change is *meant* to move the
+   With the argument [transient], prints the transient-replay/DTM summary
+   instead (captured when the event-driven engine landed; its exact
+   stepper is bit-identical to the original backward-Euler loop):
+
+     dune exec test/capture_goldens.exe -- transient > test/goldens/transient.golden
+
+   Only regenerate a golden when a change is *meant* to move the
    numbers (new benchmarks, model changes) — never to paper over a
    kernel regression. *)
 
-let () =
+let capture_tables () =
   let table1 = Core.Experiments.table1 () in
   let table2 = Core.Experiments.table2 () in
   let table3 = Core.Experiments.table3 () in
@@ -25,3 +31,14 @@ let () =
   print_string
     (Core.Report.shape_checks
        (Core.Experiments.shape_checks ~table1 ~table2 ~table3))
+
+let capture_transient () =
+  print_string (Core.Report.transient_demo (Core.Experiments.transient_demo ()))
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> capture_tables ()
+  | [| _; "transient" |] -> capture_transient ()
+  | _ ->
+      prerr_endline "usage: capture_goldens [transient]";
+      exit 2

@@ -144,6 +144,36 @@ let test_inquiry_counts_scale_with_candidates () =
   Alcotest.(check bool) "at least tasks x PEs" true (n >= tasks * 4);
   Alcotest.(check bool) "bounded by search budget" true (n < 1_000_000)
 
+let check_against_golden ~what ~basename rendered =
+  let golden =
+    (* dune runtest runs in the (staged) test directory; dune exec from
+       the project root. *)
+    let path =
+      let staged = "goldens/" ^ basename in
+      if Sys.file_exists staged then staged else "test/goldens/" ^ basename
+    in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.trim rendered <> String.trim golden then begin
+    (* Locate the first differing line for a readable failure. *)
+    let rl = String.split_on_char '\n' (String.trim rendered)
+    and gl = String.split_on_char '\n' (String.trim golden) in
+    let rec first_diff i = function
+      | r :: rs, g :: gs ->
+          if String.equal r g then first_diff (i + 1) (rs, gs)
+          else
+            Alcotest.failf "%s diverge from golden at line %d:\n got: %s\nwant: %s"
+              what i r g
+      | r :: _, [] -> Alcotest.failf "extra output at line %d: %s" i r
+      | [], g :: _ -> Alcotest.failf "missing output at line %d: %s" i g
+      | [], [] -> Alcotest.failf "%s diverge from golden (whitespace only)" what
+    in
+    first_diff 1 (rl, gl)
+  end
+
 let test_tables_match_golden () =
   (* Byte-for-byte regression against the committed golden, which was
      captured before the linalg kernels were blocked. The blocked kernels
@@ -164,32 +194,17 @@ let test_tables_match_golden () =
           (Core.Experiments.shape_checks ~table1:t1 ~table2:t2 ~table3:t3);
       ]
   in
-  let golden =
-    (* dune runtest runs in the (staged) test directory; dune exec from
-       the project root. *)
-    let path =
-      if Sys.file_exists "goldens/tables.golden" then "goldens/tables.golden"
-      else "test/goldens/tables.golden"
-    in
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  if String.trim rendered <> String.trim golden then begin
-    (* Locate the first differing line for a readable failure. *)
-    let rl = String.split_on_char '\n' (String.trim rendered)
-    and gl = String.split_on_char '\n' (String.trim golden) in
-    let rec first_diff i = function
-      | r :: rs, g :: gs ->
-          if String.equal r g then first_diff (i + 1) (rs, gs)
-          else Alcotest.failf "tables diverge from golden at line %d:\n got: %s\nwant: %s" i r g
-      | r :: _, [] -> Alcotest.failf "extra output at line %d: %s" i r
-      | [], g :: _ -> Alcotest.failf "missing output at line %d: %s" i g
-      | [], [] -> Alcotest.fail "tables diverge from golden (whitespace only)"
-    in
-    first_diff 1 (rl, gl)
-  end
+  check_against_golden ~what:"tables" ~basename:"tables.golden" rendered
+
+let test_transient_matches_golden () =
+  (* Same discipline for the runtime layer: the event-driven replay and
+     the DTM loop on Bm1, byte for byte. The engine's exact stepper is
+     bit-identical to the original backward-Euler loop, so this golden
+     pins both the engine and the DTM closed loop. Regenerate (only for
+     intentional number changes) with:
+       dune exec test/capture_goldens.exe -- transient > test/goldens/transient.golden *)
+  check_against_golden ~what:"transient/DTM numbers" ~basename:"transient.golden"
+    (Core.Report.transient_demo (Core.Experiments.transient_demo ()))
 
 let test_csv_exports_match_tables () =
   let csv = Core.Report.table1_csv (Lazy.force table1) in
@@ -209,6 +224,8 @@ let () =
           Alcotest.test_case "temperatures physical" `Quick
             test_temperatures_in_physical_band;
           Alcotest.test_case "tables match golden" `Quick test_tables_match_golden;
+          Alcotest.test_case "transient matches golden" `Quick
+            test_transient_matches_golden;
           Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
         ] );
       ( "figure1",
