@@ -7,12 +7,17 @@ let pool_stats (s : Pool.stats) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf
-       "Execution pool: %d job%s, %d batch%s, %d tasks, %d idle waits\n"
+       "Execution pool: %d job%s, %d batch%s, %d tasks, %d steal%s, %d \
+        park%s, max deque depth %d\n"
        s.Pool.jobs
        (if s.Pool.jobs = 1 then "" else "s")
        s.Pool.batches
        (if s.Pool.batches = 1 then "" else "es")
-       s.Pool.tasks s.Pool.waits);
+       s.Pool.tasks s.Pool.steals
+       (if s.Pool.steals = 1 then "" else "s")
+       s.Pool.parks
+       (if s.Pool.parks = 1 then "" else "s")
+       s.Pool.max_deque_depth);
   Array.iteri
     (fun i b ->
       Buffer.add_string buf

@@ -1,46 +1,199 @@
-(* A fixed-size domain pool over a Mutex/Condition FIFO queue.
+(* A work-stealing domain pool: one Chase-Lev deque per domain.
 
    Design notes, in decreasing order of importance:
 
    - Determinism: results are written positionally into a pre-sized array,
      the fold of parallel_for_reduce runs in index order after the barrier,
      and on failure the recorded exception is the one from the lowest task
-     index. Nothing observable depends on which domain ran what.
+     index. Nothing observable depends on which domain ran what, so the
+     steal schedule - inherently racy - can never change a result.
 
-   - The submitting domain is a worker too: after enqueueing its batch it
-     drains the same queue until the batch completes, so a pool of size 1
-     never spawns a domain and [jobs] means "domains doing work", not
-     "domains doing work plus one coordinator doing nothing".
+   - The hot path is lock-free. Work is distributed as range tasks
+     [lo, hi] that split in half on execution: the executor pushes the
+     upper half onto its own deque (bottom, LIFO) and recurses on the
+     lower half until a range is at most [grain] indices, then runs it.
+     Idle domains steal from the top (FIFO) of a random victim's deque
+     with a single compare-and-set - thieves get the oldest, and therefore
+     largest, ranges, which they then split locally. A batch of thousands
+     of fine-grained tasks thus costs one shared-queue operation never:
+     only owner-local deque pushes and O(domains * log n) steals.
+
+   - Blocking is the cold path. A domain that finds every deque empty
+     backs off with Domain.cpu_relax and finally parks on a Condition;
+     pushers wake parked domains only when the parked-count says someone
+     is actually asleep, so steady-state pushes stay lock-free.
+
+   - The submitting domain is a worker too: after pushing its batch's
+     root range it pops/steals like everyone else until the batch
+     completes, so a pool of size 1 never spawns a domain and [jobs]
+     means "domains doing work".
 
    - Nested parallel_map calls (a task submitting a batch to any pool) run
      inline on the current domain, detected through a domain-local flag.
-     This cannot deadlock and keeps the determinism contract trivially. *)
+     This cannot deadlock and keeps the determinism contract trivially.
+
+   - Batches are serialized by a submission mutex. This is what makes
+     [shutdown] safe while a batch is in flight: shutdown queues behind
+     the running batch, which drains normally, and only then are the
+     workers stopped.
+
+   Memory-ordering argument for the Chase-Lev operations: OCaml's
+   [Atomic] operations are sequentially consistent, strictly stronger
+   than the acquire/release + fence discipline of the canonical C11
+   implementation (Le et al., "Correct and Efficient Work-Stealing for
+   Weak Memory Models"), so the classical correctness argument applies
+   directly. The two load-bearing facts are (1) [top] only ever grows, so
+   a successful CAS on [top] can never be an ABA - the stolen slot is
+   exactly the one read; and (2) a slot is only reused by the owner after
+   [bottom] has advanced a full buffer length past it, which requires the
+   intervening elements - including that slot - to have been consumed
+   first, advancing [top] past it and making any stale thief's CAS fail.
+   Buffer growth preserves this: the owner installs the doubled buffer
+   with an [Atomic.set] and never writes to the old one again, so a thief
+   holding the old buffer still reads valid (if possibly already-stolen)
+   elements, and the CAS on [top] remains the single commit point. *)
 
 type batch = {
-  mutable remaining : int; (* queued tasks not yet finished *)
-  mutable failed : (int * exn) option; (* lowest failing index wins *)
+  remaining : int Atomic.t; (* indices not yet executed *)
+  failed : (int * exn) option Atomic.t; (* lowest failing index wins *)
 }
+
+(* A contiguous index range [lo, hi] (inclusive) of one batch. [body lo hi]
+   applies the batch's task function to each index, recording results
+   positionally and returning the lowest in-range failure, if any. *)
+type task = {
+  lo : int;
+  hi : int;
+  grain : int; (* ranges longer than this split in half *)
+  batch : batch;
+  body : int -> int -> (int * exn) option;
+}
+
+let dummy_batch = { remaining = Atomic.make 0; failed = Atomic.make None }
+let dummy_task =
+  { lo = 0; hi = -1; grain = 1; batch = dummy_batch; body = (fun _ _ -> None) }
+
+(* --- Chase-Lev deque ---------------------------------------------------- *)
+
+module Deque : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> task -> unit (* owner only *)
+  val pop : t -> task option (* owner only *)
+  val steal : t -> task option (* any domain *)
+  val size : t -> int (* racy snapshot *)
+  val max_depth : t -> int
+  val reset_max_depth : t -> unit
+end = struct
+  type buffer = { data : task array; mask : int } (* length a power of 2 *)
+
+  type t = {
+    top : int Atomic.t; (* next index to steal *)
+    bottom : int Atomic.t; (* next index to push *)
+    buf : buffer Atomic.t;
+    mutable max_depth : int; (* owner-maintained high-water mark *)
+  }
+
+  let buffer cap = { data = Array.make cap dummy_task; mask = cap - 1 }
+
+  let create () =
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      buf = Atomic.make (buffer 32);
+      max_depth = 0;
+    }
+
+  (* Owner-only; copies the live window [t, b) into a doubled buffer. The
+     old buffer is never written again (see the module comment's ordering
+     argument). *)
+  let grow q b t =
+    let old = Atomic.get q.buf in
+    let nu = buffer (2 * Array.length old.data) in
+    for i = t to b - 1 do
+      nu.data.(i land nu.mask) <- old.data.(i land old.mask)
+    done;
+    Atomic.set q.buf nu
+
+  let push q v =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    let buf = Atomic.get q.buf in
+    let buf =
+      if b - t > buf.mask then begin
+        grow q b t;
+        Atomic.get q.buf
+      end
+      else buf
+    in
+    buf.data.(b land buf.mask) <- v;
+    Atomic.set q.bottom (b + 1);
+    let depth = b + 1 - t in
+    if depth > q.max_depth then q.max_depth <- depth
+
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if b < t then begin
+      (* Empty: undo the reservation. *)
+      Atomic.set q.bottom t;
+      None
+    end
+    else begin
+      let buf = Atomic.get q.buf in
+      let v = buf.data.(b land buf.mask) in
+      if b > t then Some v
+      else begin
+        (* Last element: race the thieves for it through [top]. *)
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then Some v else None
+      end
+    end
+
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if t >= b then None
+    else begin
+      let buf = Atomic.get q.buf in
+      let v = buf.data.(t land buf.mask) in
+      if Atomic.compare_and_set q.top t (t + 1) then Some v else None
+    end
+
+  let size q = Stdlib.max 0 (Atomic.get q.bottom - Atomic.get q.top)
+  let max_depth q = q.max_depth
+  let reset_max_depth q = q.max_depth <- 0
+end
+
+(* --- pool --------------------------------------------------------------- *)
 
 type t = {
   n_jobs : int;
-  mutex : Mutex.t;
-  work : Condition.t; (* workers sleep here when the queue is empty *)
-  finished : Condition.t; (* submitters sleep here when their batch is out *)
-  queue : (unit -> unit) Queue.t;
-  mutable live : bool;
+  deques : Deque.t array; (* slot 0: the submitting domain *)
+  park_mutex : Mutex.t; (* guards [cv] and the park protocol *)
+  cv : Condition.t; (* parked domains sleep here *)
+  n_parked : int Atomic.t; (* registered sleepers (incl. submitter) *)
+  submit_mutex : Mutex.t; (* serializes batches and shutdown *)
+  live : bool Atomic.t;
   mutable workers : unit Domain.t array;
-  (* counters, all guarded by [mutex] *)
-  mutable c_batches : int;
-  mutable c_tasks : int;
-  mutable c_waits : int;
-  busy : float array;
+  (* counters *)
+  c_batches : int Atomic.t;
+  c_tasks : int Atomic.t; (* task-function applications *)
+  c_steals : int Atomic.t; (* successful steals *)
+  c_parks : int Atomic.t; (* times a domain went to sleep *)
+  busy : float array; (* wall seconds in task bodies, slot-owned writes *)
 }
 
 type stats = {
   jobs : int;
   batches : int;
   tasks : int;
-  waits : int;
+  steals : int;
+  parks : int;
+  max_deque_depth : int;
   busy : float array;
 }
 
@@ -51,32 +204,139 @@ let now = Unix.gettimeofday
 (* Fleet-wide registry counters, mirroring the per-pool ones. *)
 let m_batches = Metricsreg.counter "pool.batches"
 let m_tasks = Metricsreg.counter "pool.tasks"
+let m_steals = Metricsreg.counter "pool.steals"
+let m_parks = Metricsreg.counter "pool.parks"
+let m_depth = Metricsreg.counter "pool.deque_max_depth"
 
-(* Run one queued task on this domain with the nested-call flag set; tasks
-   are pre-wrapped and never raise. Returns the wall time spent. The span
-   makes each domain's busy stretches visible on its own trace row. *)
-let run_task task =
+(* Any queued-but-unclaimed work in any deque? Racy by design: callers
+   re-check under [park_mutex] before sleeping. *)
+let any_work t =
+  let rec go i = i < t.n_jobs && (Deque.size t.deques.(i) > 0 || go (i + 1)) in
+  go 0
+
+(* Wake sleepers after a push, but only when somebody is actually parked:
+   the [n_parked] read keeps the steady-state push lock-free. *)
+let wake_if_parked t =
+  if Atomic.get t.n_parked > 0 then begin
+    Mutex.lock t.park_mutex;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.park_mutex
+  end
+
+(* Record [failure] into the batch, keeping the lowest index. *)
+let rec record_failure batch ((i, _) as failure) =
+  match Atomic.get batch.failed with
+  | Some (j, _) when j <= i -> ()
+  | cur ->
+      if not (Atomic.compare_and_set batch.failed cur (Some failure)) then
+        record_failure batch failure
+
+(* Execute one range task on this domain: split halves above [grain] onto
+   our own deque (waking thieves), then run the leaf. Completion of the
+   leaf's indices is what retires the batch. *)
+let exec_task t slot ~stolen task =
+  let rec narrow task =
+    if task.hi - task.lo + 1 > task.grain then begin
+      let mid = task.lo + ((task.hi - task.lo) / 2) in
+      Deque.push t.deques.(slot) { task with lo = mid + 1 };
+      wake_if_parked t;
+      narrow { task with hi = mid }
+    end
+    else task
+  in
+  let leaf = narrow task in
   let t0 = now () in
   Domain.DLS.set in_task true;
-  Trace.with_span "pool.task" task;
+  let failure =
+    Trace.with_span "pool.task" (fun () ->
+        if stolen then Trace.add_attr "stolen" (Trace.Bool true);
+        leaf.body leaf.lo leaf.hi)
+  in
   Domain.DLS.set in_task false;
-  now () -. t0
+  t.busy.(slot) <- t.busy.(slot) +. (now () -. t0);
+  let k = leaf.hi - leaf.lo + 1 in
+  Atomic.fetch_and_add t.c_tasks k |> ignore;
+  Metricsreg.add m_tasks k;
+  (match failure with Some f -> record_failure leaf.batch f | None -> ());
+  if Atomic.fetch_and_add leaf.batch.remaining (-k) = k then begin
+    (* Last indices of the batch: wake the submitter (and anyone else). *)
+    Mutex.lock t.park_mutex;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.park_mutex
+  end
+
+(* A cheap domain-local xorshift for victim selection (nonzero state stays
+   nonzero: each step is an invertible linear map). The schedule it
+   induces is irrelevant to results (determinism contract), so the
+   statistical quality bar is "spreads thieves across victims". *)
+let rand_victim state ~self ~n =
+  let s = !state in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  state := s;
+  let v = (s land max_int) mod (n - 1) in
+  if v >= self then v + 1 else v
+
+(* Look for work: our own deque first (LIFO), then a few randomized steal
+   sweeps with exponential backoff. Returns [None] when the domain should
+   park. *)
+let try_find_work t slot rng =
+  match Deque.pop t.deques.(slot) with
+  | Some task -> Some (task, false)
+  | None ->
+      if t.n_jobs = 1 then None
+      else begin
+        let sweeps = 2 * t.n_jobs in
+        let rec attempt i relax =
+          if i >= sweeps then None
+          else
+            let victim = rand_victim rng ~self:slot ~n:t.n_jobs in
+            match Deque.steal t.deques.(victim) with
+            | Some task ->
+                Atomic.incr t.c_steals;
+                Metricsreg.incr m_steals;
+                Some (task, true)
+            | None ->
+                for _ = 1 to relax do
+                  Domain.cpu_relax ()
+                done;
+                attempt (i + 1) (Stdlib.min 256 (relax * 2))
+        in
+        attempt 0 1
+      end
+
+(* Park until [should_wake] (re-checked under the mutex, so a push or a
+   batch completion between our last scan and the wait cannot be lost:
+   wakers either see our registration in [n_parked] and take the mutex, or
+   completed their update before we re-check). *)
+let park t ~should_wake =
+  Mutex.lock t.park_mutex;
+  Atomic.incr t.n_parked;
+  if should_wake () then begin
+    Atomic.decr t.n_parked;
+    Mutex.unlock t.park_mutex
+  end
+  else begin
+    Atomic.incr t.c_parks;
+    Metricsreg.incr m_parks;
+    Trace.with_span "pool.park" (fun () -> Condition.wait t.cv t.park_mutex);
+    Atomic.decr t.n_parked;
+    Mutex.unlock t.park_mutex
+  end
 
 let worker_loop t slot =
-  Mutex.lock t.mutex;
+  let rng = ref (0x2545f4914f6cdd1d * (slot + 1)) in
   let rec loop () =
-    if not t.live then Mutex.unlock t.mutex
+    if not (Atomic.get t.live) then ()
     else
-      match Queue.take_opt t.queue with
-      | Some task ->
-          Mutex.unlock t.mutex;
-          let dt = run_task task in
-          Mutex.lock t.mutex;
-          t.busy.(slot) <- t.busy.(slot) +. dt;
+      match try_find_work t slot rng with
+      | Some (task, stolen) ->
+          exec_task t slot ~stolen task;
           loop ()
       | None ->
-          t.c_waits <- t.c_waits + 1;
-          Condition.wait t.work t.mutex;
+          park t ~should_wake:(fun () ->
+              (not (Atomic.get t.live)) || any_work t);
           loop ()
   in
   loop ()
@@ -90,15 +350,17 @@ let create ?jobs () =
   let t =
     {
       n_jobs;
-      mutex = Mutex.create ();
-      work = Condition.create ();
-      finished = Condition.create ();
-      queue = Queue.create ();
-      live = true;
+      deques = Array.init n_jobs (fun _ -> Deque.create ());
+      park_mutex = Mutex.create ();
+      cv = Condition.create ();
+      n_parked = Atomic.make 0;
+      submit_mutex = Mutex.create ();
+      live = Atomic.make true;
       workers = [||];
-      c_batches = 0;
-      c_tasks = 0;
-      c_waits = 0;
+      c_batches = Atomic.make 0;
+      c_tasks = Atomic.make 0;
+      c_steals = Atomic.make 0;
+      c_parks = Atomic.make 0;
       busy = Array.make n_jobs 0.0;
     }
   in
@@ -109,49 +371,68 @@ let create ?jobs () =
 let jobs t = t.n_jobs
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  if t.live then begin
-    t.live <- false;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
-    Array.iter Domain.join t.workers;
-    t.workers <- [||]
-  end
-  else Mutex.unlock t.mutex
+  if Domain.DLS.get in_task then
+    invalid_arg "Pool.shutdown: called from inside a pool task";
+  (* Queue behind any in-flight batch: it drains normally first. *)
+  Mutex.lock t.submit_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.submit_mutex)
+    (fun () ->
+      if Atomic.get t.live then begin
+        Atomic.set t.live false;
+        Mutex.lock t.park_mutex;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.park_mutex;
+        Array.iter Domain.join t.workers;
+        t.workers <- [||]
+      end)
 
 let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s =
-    {
-      jobs = t.n_jobs;
-      batches = t.c_batches;
-      tasks = t.c_tasks;
-      waits = t.c_waits;
-      busy = Array.copy t.busy;
-    }
+  let max_depth =
+    Array.fold_left
+      (fun acc d -> Stdlib.max acc (Deque.max_depth d))
+      0 t.deques
   in
-  Mutex.unlock t.mutex;
-  s
+  {
+    jobs = t.n_jobs;
+    batches = Atomic.get t.c_batches;
+    tasks = Atomic.get t.c_tasks;
+    steals = Atomic.get t.c_steals;
+    parks = Atomic.get t.c_parks;
+    max_deque_depth = max_depth;
+    busy = Array.copy t.busy;
+  }
 
 let reset_stats t =
-  Mutex.lock t.mutex;
-  t.c_batches <- 0;
-  t.c_tasks <- 0;
-  t.c_waits <- 0;
-  Array.fill t.busy 0 (Array.length t.busy) 0.0;
-  Mutex.unlock t.mutex
+  Atomic.set t.c_batches 0;
+  Atomic.set t.c_tasks 0;
+  Atomic.set t.c_steals 0;
+  Atomic.set t.c_parks 0;
+  Array.iter Deque.reset_max_depth t.deques;
+  Array.fill t.busy 0 (Array.length t.busy) 0.0
 
 let pp_stats ppf s =
-  Format.fprintf ppf "jobs %d, batches %d, tasks %d, waits %d, busy [" s.jobs
-    s.batches s.tasks s.waits;
+  Format.fprintf ppf
+    "jobs %d, batches %d, tasks %d, steals %d, parks %d, max depth %d, busy ["
+    s.jobs s.batches s.tasks s.steals s.parks s.max_deque_depth;
   Array.iteri
     (fun i b -> Format.fprintf ppf "%s%.3fs" (if i = 0 then "" else " ") b)
     s.busy;
   Format.fprintf ppf "]"
+
+(* Keep the fleet-wide high-water mark in step with the deepest deque seen
+   by any pool. Called once per batch, not per push. *)
+let publish_depth t =
+  let d =
+    Array.fold_left
+      (fun acc q -> Stdlib.max acc (Deque.max_depth q))
+      0 t.deques
+  in
+  if d > Metricsreg.counter_value m_depth then Metricsreg.set_counter m_depth d
 
 (* The workhorse. [f] is applied as [f i xs.(i)] and results land in slot
    [i]; everything else is scheduling. *)
@@ -168,80 +449,75 @@ let parallel_mapi ?chunk t f xs =
       let t0 = now () in
       let r = Array.mapi f xs in
       if not nested then begin
-        Mutex.lock t.mutex;
-        t.c_batches <- t.c_batches + 1;
-        t.c_tasks <- t.c_tasks + n;
+        Atomic.incr t.c_batches;
+        Atomic.fetch_and_add t.c_tasks n |> ignore;
         t.busy.(0) <- t.busy.(0) +. (now () -. t0);
-        Mutex.unlock t.mutex;
         Metricsreg.incr m_batches;
         Metricsreg.add m_tasks n
       end;
       r
     in
-    if t.n_jobs = 1 || n = 1 || (not t.live) || Domain.DLS.get in_task then
-      inline_run ()
+    if t.n_jobs = 1 || n = 1 || (not (Atomic.get t.live)) || Domain.DLS.get in_task
+    then inline_run ()
     else begin
-      let chunk =
-        match chunk with
-        | Some c -> Stdlib.max 1 c
-        | None -> Stdlib.max 1 (n / (8 * t.n_jobs))
-      in
-      let n_chunks = (n + chunk - 1) / chunk in
-      let results = Array.make n None in
-      let batch = { remaining = n_chunks; failed = None } in
-      let task c () =
-        let lo = c * chunk in
-        let hi = Stdlib.min (n - 1) (lo + chunk - 1) in
-        let rec go i =
-          if i > hi then None
-          else
-            match f i xs.(i) with
-            | v ->
-                results.(i) <- Some v;
-                go (i + 1)
-            | exception e -> Some (i, e)
-        in
-        let failure = go lo in
-        Metricsreg.add m_tasks (hi - lo + 1);
-        Mutex.lock t.mutex;
-        t.c_tasks <- t.c_tasks + (hi - lo + 1);
-        (match failure with
-        | Some (i, _) -> (
-            match batch.failed with
-            | Some (j, _) when j <= i -> ()
-            | Some _ | None -> batch.failed <- failure)
-        | None -> ());
-        batch.remaining <- batch.remaining - 1;
-        if batch.remaining = 0 then Condition.broadcast t.finished;
-        Mutex.unlock t.mutex
-      in
-      Metricsreg.incr m_batches;
-      Mutex.lock t.mutex;
-      t.c_batches <- t.c_batches + 1;
-      for c = 0 to n_chunks - 1 do
-        Queue.add (task c) t.queue
-      done;
-      Condition.broadcast t.work;
-      (* The submitting domain drains the queue too (slot 0). When the
-         queue is empty but the batch is still in flight on other domains,
-         it sleeps until the last task signals. *)
-      let rec drain () =
-        if batch.remaining = 0 then Mutex.unlock t.mutex
-        else
-          match Queue.take_opt t.queue with
-          | Some task ->
-              Mutex.unlock t.mutex;
-              let dt = run_task task in
-              Mutex.lock t.mutex;
-              t.busy.(0) <- t.busy.(0) +. dt;
-              drain ()
-          | None ->
-              Condition.wait t.finished t.mutex;
-              drain ()
-      in
-      drain ();
-      (match batch.failed with Some (_, e) -> raise e | None -> ());
-      Array.map (function Some v -> v | None -> assert false) results
+      Mutex.lock t.submit_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit_mutex)
+        (fun () ->
+          if not (Atomic.get t.live) then inline_run ()
+          else begin
+            let grain =
+              match chunk with
+              | Some c -> Stdlib.max 1 c
+              | None -> Stdlib.max 1 (n / (8 * t.n_jobs))
+            in
+            let results = Array.make n None in
+            let batch =
+              { remaining = Atomic.make n; failed = Atomic.make None }
+            in
+            let body lo hi =
+              (* Runs each index of the leaf; stops at the first failure
+                 (the rest of the batch still runs - only this leaf's tail
+                 is skipped, exactly like the FIFO runtime's chunks). *)
+              let rec go i =
+                if i > hi then None
+                else
+                  match f i xs.(i) with
+                  | v ->
+                      results.(i) <- Some v;
+                      go (i + 1)
+                  | exception e -> Some (i, e)
+              in
+              go lo
+            in
+            Atomic.incr t.c_batches;
+            Metricsreg.incr m_batches;
+            let root = { lo = 0; hi = n - 1; grain; batch; body } in
+            Trace.with_span "pool.batch" (fun () ->
+                Deque.push t.deques.(0) root;
+                wake_if_parked t;
+                (* The submitting domain works as slot 0 until the batch
+                   retires, then reaps results. *)
+                let rng = ref 0x2545f4914f6cdd1d in
+                let rec drive () =
+                  if Atomic.get batch.remaining = 0 then ()
+                  else
+                    match try_find_work t 0 rng with
+                    | Some (task, stolen) ->
+                        exec_task t 0 ~stolen task;
+                        drive ()
+                    | None ->
+                        park t ~should_wake:(fun () ->
+                            Atomic.get batch.remaining = 0 || any_work t);
+                        drive ()
+                in
+                drive ());
+            publish_depth t;
+            (match Atomic.get batch.failed with
+            | Some (_, e) -> raise e
+            | None -> ());
+            Array.map (function Some v -> v | None -> assert false) results
+          end)
     end
   end
 

@@ -1,25 +1,34 @@
-(** Fixed-size domain pool for embarrassingly parallel outer loops.
+(** Work-stealing domain pool for embarrassingly parallel outer loops.
 
     The repo's stochastic workloads — Monte-Carlo replications, GA
-    floorplan fitness evaluation, SA mapper restarts, benchmark sweeps —
-    are independent task batches over pure functions. This pool runs such
-    batches across OCaml 5 domains with a plain [Mutex]/[Condition] work
-    queue: no new dependencies, no effects, no work stealing beyond the
-    submitting domain draining the shared queue alongside the workers.
+    floorplan fitness evaluation, SA mapper restarts, benchmark sweeps,
+    table regeneration — are independent task batches over pure
+    functions. This pool runs such batches across OCaml 5 domains on a
+    {e work-stealing} runtime: every domain owns a Chase–Lev deque
+    (lock-free push/pop at the bottom for the owner, lock-free
+    compare-and-set steals from the top for everyone else), and a batch
+    is distributed as a single index range that splits in half as it
+    executes, so fine-grained batches of thousands of sub-millisecond
+    tasks pay owner-local deque operations instead of one shared-lock
+    round-trip per task. Idle domains steal from randomized victims with
+    exponential backoff and park on a condition variable only when every
+    deque is empty. No dependencies beyond the stdlib.
 
     {1 Determinism contract}
 
     Parallelism here is {e observation-free}: for a pure task function,
     {!parallel_map} and {!parallel_for_reduce} return results that are
-    bit-identical at any domain count, including [jobs = 1].
+    bit-identical at any domain count and under any steal schedule,
+    including [jobs = 1].
 
     - Results are delivered {e positionally}: slot [i] of the output always
-      holds [f xs.(i)], whatever domain computed it and in whatever order
-      tasks finished.
+      holds [f xs.(i)], whatever domain computed it, whether the range
+      containing [i] was stolen, and in whatever order tasks finished.
     - {!parallel_for_reduce} folds the per-index results in index order
       after the parallel phase, so non-commutative [combine] functions are
       safe.
-    - Nothing random is introduced by the pool itself. Callers that need
+    - Nothing random is introduced by the pool itself (victim selection is
+      randomized, but only the schedule depends on it). Callers that need
       per-task randomness must derive one generator per task index from a
       master seed ({!Rng.derive}) {e before} submitting, never share one
       mutable generator across tasks; with that discipline the random
@@ -30,35 +39,44 @@
       task index — again independent of scheduling.
 
     Task functions must be thread-safe: they run concurrently on multiple
-    domains. Pure functions over immutable (or task-local) data qualify;
-    shared mutable caches need their own locking (see {!Tats_thermal.Inquiry}
-    for the pattern used by the thermal engine).
+    domains, and steals interleave them arbitrarily. Pure functions over
+    immutable (or task-local) data qualify; shared mutable caches need
+    their own locking (see {!Tats_thermal.Inquiry} for the pattern used by
+    the thermal engine).
 
-    {1 Nesting}
+    {1 Nesting and concurrent batches}
 
     A task that itself calls [parallel_map] on any pool does not deadlock:
     nested calls detect that they already run inside a pool task and
     degrade to inline sequential execution on the current domain. The
     result is the same by the determinism contract; only the parallelism
-    is flattened. *)
+    is flattened. Batches submitted concurrently from {e different}
+    domains are serialized: the second submitter blocks until the first
+    batch has drained, then runs normally. *)
 
 type t
-(** A pool of worker domains sharing one FIFO work queue. The pool owns
-    [jobs - 1] spawned domains; the domain calling {!parallel_map} is the
-    [jobs]-th worker for the duration of the call, so [jobs = 1] spawns no
-    domains at all and runs everything inline. *)
+(** A pool of worker domains, each owning a work-stealing deque. The pool
+    owns [jobs - 1] spawned domains; the domain calling {!parallel_map} is
+    the [jobs]-th worker for the duration of the call, so [jobs = 1]
+    spawns no domains at all and runs everything inline. *)
 
 type stats = {
   jobs : int;  (** size of the pool, including the submitting domain *)
   batches : int;  (** [parallel_map] / [parallel_for_reduce] calls served *)
   tasks : int;  (** individual task-function applications executed *)
-  waits : int;  (** times a worker found the queue empty and slept *)
+  steals : int;  (** ranges taken from another domain's deque *)
+  parks : int;  (** times a domain found no work anywhere and slept *)
+  max_deque_depth : int;
+      (** high-water mark of queued ranges in any one deque *)
   busy : float array;
       (** wall-clock seconds spent inside task bodies, per domain; slot [0]
           is the submitting domain, slots [1 .. jobs - 1] the spawned
           workers *)
 }
-(** Cumulative counters since {!create} (or the last {!reset_stats}). *)
+(** Cumulative counters since {!create} (or the last {!reset_stats}). The
+    same quantities feed the process-wide metrics registry as
+    [pool.batches], [pool.tasks], [pool.steals], [pool.parks] and
+    [pool.deque_max_depth]. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains. [jobs] defaults to
@@ -71,11 +89,14 @@ val jobs : t -> int
 
 val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f xs] is [Array.map f xs] computed on up to
-    [jobs pool] domains. [chunk] is the number of consecutive indices
-    grouped into one queued task (default: enough to make roughly
-    [8 * jobs] tasks); larger chunks amortize queue traffic for cheap [f],
-    smaller chunks balance load for expensive [f]. The choice of [chunk]
-    never affects the result, only the schedule.
+    [jobs pool] domains. [chunk] is the {e grain}: ranges of more than
+    [chunk] consecutive indices split in half (the upper half becoming
+    stealable) until they are at most [chunk] long, then run as one task
+    (default: enough to make roughly [8 * jobs] leaf ranges). Larger
+    grains amortize per-range overhead for cheap [f], smaller grains
+    balance load for expensive [f]; [chunk:1] forces a maximally
+    steal-heavy schedule. The choice of [chunk] never affects the result,
+    only the schedule.
 
     Runs inline (sequentially, on the calling domain) when the batch has
     fewer than two tasks, when [jobs pool = 1], when the pool has been
@@ -98,20 +119,26 @@ val parallel_for_reduce :
     [fold_left combine init [body 0; ...; body (n-1)]]. *)
 
 val stats : t -> stats
-(** Snapshot of the pool's counters (consistent: taken under the pool
-    lock). *)
+(** Racy-but-monotone snapshot of the pool's counters; exact whenever no
+    batch is in flight. *)
 
 val reset_stats : t -> unit
+(** Zeroes the counters. Call between batches, not during one. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** One compact line: jobs, batches, tasks, waits, and per-domain busy
-    seconds. *)
+(** One compact line: jobs, batches, tasks, steals, parks, max deque
+    depth, and per-domain busy seconds. *)
 
 val shutdown : t -> unit
-(** Stops and joins the worker domains. Idempotent. Must not be called
-    while a [parallel_map] on this pool is in flight. After shutdown the
-    pool remains usable: batches simply run inline on the calling
-    domain. *)
+(** Stops and joins the worker domains. Idempotent, and safe to call
+    while a batch is in flight: shutdown queues behind the running batch,
+    which {e drains normally} (its submitter gets complete, bit-identical
+    results), and only then are the workers stopped. After shutdown the
+    pool remains usable: batches simply run inline on the calling domain.
+
+    @raise Invalid_argument when called from inside a pool task (a batch
+    cannot deterministically outlive a runtime torn down from within
+    itself). *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it

@@ -125,10 +125,17 @@ let test_stats_counters () =
       Alcotest.(check int) "batches" 2 s.Pool.batches;
       Alcotest.(check int) "tasks" 100 s.Pool.tasks;
       Alcotest.(check int) "busy slots" 2 (Array.length s.Pool.busy);
+      Alcotest.(check bool) "steals non-negative" true (s.Pool.steals >= 0);
+      Alcotest.(check bool) "parks non-negative" true (s.Pool.parks >= 0);
+      Alcotest.(check bool) "deque depth recorded" true
+        (s.Pool.max_deque_depth >= 0);
       Pool.reset_stats pool;
       let s = Pool.stats pool in
       Alcotest.(check int) "reset batches" 0 s.Pool.batches;
-      Alcotest.(check int) "reset tasks" 0 s.Pool.tasks)
+      Alcotest.(check int) "reset tasks" 0 s.Pool.tasks;
+      Alcotest.(check int) "reset steals" 0 s.Pool.steals;
+      Alcotest.(check int) "reset parks" 0 s.Pool.parks;
+      Alcotest.(check int) "reset depth" 0 s.Pool.max_deque_depth)
 
 (* --- Rng.derive --------------------------------------------------------- *)
 
@@ -175,7 +182,14 @@ let test_montecarlo_bit_identical () =
         Core.Montecarlo.analyze ~runs:100 ~pool ~seed:11 ~lib
           ~hotspot:(fresh_hotspot ()) schedule)
   in
-  Alcotest.(check bool) "jobs 1 = jobs 4" true (run 1 = run 4)
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs 1 = jobs %d" jobs)
+        true
+        (reference = run jobs))
+    [ 2; 4; 8 ]
 
 let test_ga_bit_identical () =
   let rng = Core.Rng.create 5 in
@@ -197,7 +211,14 @@ let test_ga_bit_identical () =
         in
         (r.Core.Ga.best_cost, r.Core.Ga.history, r.Core.Ga.best_expr))
   in
-  Alcotest.(check bool) "jobs 1 = jobs 4" true (run 1 = run 4)
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs 1 = jobs %d" jobs)
+        true
+        (reference = run jobs))
+    [ 2; 4; 8 ]
 
 let test_sa_restarts_deterministic () =
   let graph, lib, pes = platform_fixture () in
@@ -217,7 +238,14 @@ let test_sa_restarts_deterministic () =
         in
         (r.Core.Sa_mapper.best_restart, r.Core.Sa_mapper.restart_costs))
   in
-  Alcotest.(check bool) "jobs 1 = jobs 4" true (run 1 = run 4);
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs 1 = jobs %d" jobs)
+        true
+        (reference = run jobs))
+    [ 2; 4; 8 ];
   (* Restart 0 replays the single-chain run with the same seed. *)
   let single =
     Core.Sa_mapper.run ~params ~seed:1 ~objective:Core.Sa_mapper.Makespan
@@ -259,9 +287,9 @@ let () =
         ] );
       ( "workload-determinism",
         [
-          Alcotest.test_case "Monte-Carlo bit-identical jobs 1 vs 4" `Quick
+          Alcotest.test_case "Monte-Carlo bit-identical jobs 1 vs 2/4/8" `Quick
             test_montecarlo_bit_identical;
-          Alcotest.test_case "GA bit-identical jobs 1 vs 4" `Quick
+          Alcotest.test_case "GA bit-identical jobs 1 vs 2/4/8" `Quick
             test_ga_bit_identical;
           Alcotest.test_case "SA restarts deterministic" `Quick
             test_sa_restarts_deterministic;

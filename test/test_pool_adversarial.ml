@@ -22,11 +22,16 @@ let spin units =
 
 exception Planted of int
 
+(* Steal-heavy pool sizes: oversubscribed relative to most CI hosts, so
+   domains interleave adversarially. *)
+let job_sizes = [| 1; 2; 4; 8 |]
+let pick_jobs meta = job_sizes.(Rng.int meta (Array.length job_sizes))
+
 let test_random_durations_positional () =
   let meta = Rng.create 31 in
   for trial = 1 to 8 do
     let n = 1 + Rng.int meta 200 in
-    let jobs = 1 + Rng.int meta 4 in
+    let jobs = pick_jobs meta in
     let chunk = 1 + Rng.int meta 8 in
     let units = Array.init n (fun _ -> Rng.int meta 40) in
     let got =
@@ -50,7 +55,7 @@ let test_random_durations_reduce_order () =
   let meta = Rng.create 77 in
   for trial = 1 to 6 do
     let n = 1 + Rng.int meta 60 in
-    let jobs = 1 + Rng.int meta 4 in
+    let jobs = pick_jobs meta in
     let units = Array.init n (fun _ -> Rng.int meta 30) in
     let got =
       Pool.with_pool ~jobs (fun pool ->
@@ -74,7 +79,7 @@ let test_random_exception_placement () =
   let meta = Rng.create 1312 in
   for trial = 1 to 10 do
     let n = 16 + Rng.int meta 120 in
-    let jobs = 1 + Rng.int meta 4 in
+    let jobs = pick_jobs meta in
     let n_failures = 1 + Rng.int meta 4 in
     let failures =
       Array.to_list (Array.init n_failures (fun _ -> Rng.int meta n))
@@ -182,6 +187,126 @@ let test_doubly_nested_inline () =
   Alcotest.(check bool) "bounded time" true
     (Unix.gettimeofday () -. t0 < nested_deadline_s)
 
+(* --- steal-heavy reduction property -------------------------------------- *)
+
+let test_reduce_bit_identical_grid () =
+  (* parallel_for_reduce with a non-commutative, non-associative combine
+     must equal the sequential fold bit for bit at every (jobs, chunk)
+     configuration. Floating-point combine makes any reassociation or
+     reordering visible at the ulp level. *)
+  let meta = Rng.create 9090 in
+  for trial = 1 to 3 do
+    let n = 50 + Rng.int meta 150 in
+    let values = Array.init n (fun _ -> Rng.uniform meta (-1.0) 1.0) in
+    let units = Array.init n (fun _ -> Rng.int meta 10) in
+    (* Pure in [i]: safe to run on any domain, any number of times. *)
+    let body i =
+      ignore (spin units.(i));
+      sin ((values.(i) *. 3.7) +. float_of_int i)
+    in
+    let combine acc v = (acc /. 3.0) +. (v *. v) -. (acc *. v) in
+    let expected =
+      Array.fold_left combine 0.5 (Array.init n (fun i -> body i))
+    in
+    List.iter
+      (fun jobs ->
+        List.iter
+          (fun chunk ->
+            let got =
+              Pool.with_pool ~jobs (fun pool ->
+                  Pool.parallel_for_reduce ?chunk pool ~n ~init:0.5 ~combine
+                    body)
+            in
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "trial %d: jobs %d chunk %s bit-identical" trial
+                 jobs
+                 (match chunk with Some c -> string_of_int c | None -> "auto"))
+              expected got)
+          [ Some 1; Some 7; None ])
+      [ 1; 2; 4; 8 ]
+  done
+
+let test_nested_submission_during_steal () =
+  (* Many cheap outer tasks at chunk:1 on an oversubscribed pool: outer
+     ranges split down to single indices and spread by stealing, so the
+     nested submissions below fire from stolen tasks on several domains at
+     once. The nested calls must inline and stay positional. *)
+  let meta = Rng.create 60606 in
+  Pool.with_pool ~jobs:8 (fun pool ->
+      for _trial = 1 to 3 do
+        let outer = 32 + Rng.int meta 32 in
+        let inner = 4 + Rng.int meta 8 in
+        let units = Array.init outer (fun _ -> Rng.int meta 20) in
+        let got =
+          Pool.parallel_mapi ~chunk:1 pool
+            (fun i () ->
+              ignore (spin units.(i));
+              let sub =
+                Pool.parallel_mapi ~chunk:1 pool
+                  (fun j () -> (i * 100) + j)
+                  (Array.make inner ())
+              in
+              Array.fold_left ( + ) 0 sub)
+            (Array.make outer ())
+        in
+        let expected =
+          Array.init outer (fun i ->
+              (i * 100 * inner) + (inner * (inner - 1) / 2))
+        in
+        Alcotest.(check (array int)) "nested-during-steal results" expected got
+      done)
+
+(* --- shutdown under load -------------------------------------------------- *)
+
+let test_shutdown_under_load () =
+  (* A second domain calls shutdown while a batch is in flight: the batch
+     must drain normally (complete, correct results), shutdown must
+     return, and the pool must then run inline. *)
+  for round = 1 to 3 do
+    let pool = Pool.create ~jobs:4 () in
+    let n = 400 in
+    let started = Atomic.make false in
+    let submitter =
+      Domain.spawn (fun () ->
+          Pool.parallel_mapi ~chunk:1 pool
+            (fun i () ->
+              Atomic.set started true;
+              ignore (spin 5);
+              i * 2)
+            (Array.make n ()))
+    in
+    (* Wait for the batch to actually be in flight before tearing down. *)
+    while not (Atomic.get started) do
+      Domain.cpu_relax ()
+    done;
+    Pool.shutdown pool;
+    let got = Domain.join submitter in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d: batch drained despite shutdown" round)
+      (Array.init n (fun i -> i * 2))
+      got;
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d: inline after shutdown-under-load" round)
+      [| 1; 2; 3 |]
+      (Pool.parallel_map pool (fun x -> x + 1) [| 0; 1; 2 |])
+  done
+
+let test_shutdown_from_task_rejected () =
+  (* Tearing down the runtime from inside one of its own tasks cannot be
+     made deterministic; it must fail loudly instead of deadlocking. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let saw_invalid = ref false in
+      ignore
+        (Pool.parallel_mapi ~chunk:1 pool
+           (fun i () ->
+             if i = 0 then (
+               try Pool.shutdown pool
+               with Invalid_argument _ -> saw_invalid := true);
+             i)
+           (Array.make 8 ()));
+      Alcotest.(check bool) "shutdown inside a task raises Invalid_argument"
+        true !saw_invalid)
+
 let () =
   Alcotest.run "pool_adversarial"
     [
@@ -195,6 +320,8 @@ let () =
             test_random_exception_placement;
           Alcotest.test_case "pool survives adversarial batches" `Quick
             test_pool_survives_adversarial_batches;
+          Alcotest.test_case "non-commutative reduce bit-identical on grid"
+            `Quick test_reduce_bit_identical_grid;
         ] );
       ( "nesting",
         [
@@ -202,5 +329,14 @@ let () =
             test_nested_no_deadlock;
           Alcotest.test_case "doubly nested inlines" `Quick
             test_doubly_nested_inline;
+          Alcotest.test_case "nested submission during steals" `Quick
+            test_nested_submission_during_steal;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "shutdown under load drains the batch" `Quick
+            test_shutdown_under_load;
+          Alcotest.test_case "shutdown inside a task is rejected" `Quick
+            test_shutdown_from_task_rejected;
         ] );
     ]
