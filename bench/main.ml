@@ -1008,7 +1008,162 @@ let transient_speedup () =
   announce_json "BENCH_transient.json"
 
 (* ----------------------------------------------------------------------- *)
-(* 5. Observability overhead                                                *)
+(* 5. Serving throughput — in-process tatsd under a concurrent load        *)
+(* ----------------------------------------------------------------------- *)
+
+(* Load generator: [clients] threads, one connection each, every thread
+   issuing [per_client] requests back to back.  Per-thread ok/error slots
+   need no locking; the wall clock covers connect-to-join. *)
+let serve_load ~socket ~clients ~per_client ~make_req =
+  let oks = Array.make clients 0 and errs = Array.make clients 0 in
+  let body ci =
+    Core.Serve.Client.with_client socket @@ fun c ->
+    for k = 0 to per_client - 1 do
+      match Core.Serve.Client.request c (make_req ci k) with
+      | Ok reply when Core.Serve.Protocol.reply_ok reply ->
+          oks.(ci) <- oks.(ci) + 1
+      | Ok _ | Error _ -> errs.(ci) <- errs.(ci) + 1
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun ci -> Thread.create body ci) in
+  List.iter Thread.join threads;
+  ( Unix.gettimeofday () -. t0,
+    Array.fold_left ( + ) 0 oks,
+    Array.fold_left ( + ) 0 errs )
+
+let serve_throughput () =
+  hr "Serving throughput — in-process tatsd under concurrent clients";
+  let module Server = Core.Serve.Server in
+  let module Protocol = Core.Serve.Protocol in
+  let module Engines = Core.Serve.Engines in
+  let cores = Domain.recommended_domain_count () in
+  let jobs = Core.Pool.jobs (Core.Pool.default ()) in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tats-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.create
+      { Server.default_config with socket_path = socket; max_queue = 256 }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop_and_wait server)
+  @@ fun () ->
+  let policies = [| "baseline"; "h1"; "h2"; "h3"; "thermal" |] in
+  let schedule_req i =
+    let policy =
+      Option.get (Core.Policy.of_name policies.(i mod Array.length policies))
+    in
+    Protocol.request
+      (Protocol.Schedule
+         { Protocol.bench = 0; policy; arch = Protocol.Platform; n_pes = 4 })
+  in
+  (* A small pool of repeated power vectors: every vector recurs across
+     clients, so the quantized-power cache sees cross-request repeats. *)
+  let n_vectors = 16 in
+  let inquiry_req ci k =
+    let v = (ci + (k * 5)) mod n_vectors in
+    let power = Array.init 4 (fun p -> 0.4 +. (0.03 *. float_of_int (v + p))) in
+    Protocol.request
+      (Protocol.Inquiry { Protocol.n_pes = 4; power; idle = Array.make 4 0.1 })
+  in
+  (* Warm: the full schedule mix once, so the 1-client / 4-client runs
+     below compare at equal cache warmth. *)
+  let sched_total = 8 in
+  let _, warm_ok, warm_err =
+    serve_load ~socket ~clients:1 ~per_client:sched_total
+      ~make_req:(fun _ k -> schedule_req k)
+  in
+  let sched_wall_1, ok_1, err_1 =
+    serve_load ~socket ~clients:1 ~per_client:sched_total
+      ~make_req:(fun _ k -> schedule_req k)
+  in
+  let sched_wall_4, ok_4, err_4 =
+    serve_load ~socket ~clients:4
+      ~per_client:(sched_total / 4)
+      ~make_req:(fun ci k -> schedule_req ((ci * (sched_total / 4)) + k))
+  in
+  let conc_speedup = sched_wall_1 /. Float.max sched_wall_4 1e-9 in
+  (* Inquiry throughput: latency percentiles come from the server's own
+     serve.latency_s histogram, reset so it covers exactly this run. *)
+  let latency = Core.Metricsreg.histogram "serve.latency_s" in
+  Core.Metricsreg.reset_histogram latency;
+  let inq_clients = 4 and inq_per_client = 200 in
+  let inq_wall, inq_ok, inq_err =
+    serve_load ~socket ~clients:inq_clients ~per_client:inq_per_client
+      ~make_req:inquiry_req
+  in
+  let inq_total = inq_clients * inq_per_client in
+  let req_per_s = float_of_int inq_total /. Float.max inq_wall 1e-9 in
+  let s = Core.Metricsreg.summary latency in
+  let es = Engines.stats (Server.engines server) in
+  let hit_rate = Engines.hit_rate es in
+  let total_errs = warm_err + err_1 + err_4 + inq_err in
+  let total_oks = warm_ok + ok_1 + ok_4 + inq_ok in
+  let skip = cores < 4 in
+  let skip_reason = if skip then Some (skip_reason_of_cores cores) else None in
+  let conc_verdict =
+    if skip then "SKIP" else if conc_speedup >= 1.2 then "PASS" else "FAIL"
+  in
+  let cache_verdict = if hit_rate > 0.0 then "PASS" else "FAIL" in
+  Printf.printf "detected cores: %d, pool jobs: %d\n" cores jobs;
+  Printf.printf "replies: %d ok, %d errors\n" total_oks total_errs;
+  Printf.printf
+    "schedule mix (%d requests, warm): 1 client %.3fs, 4 clients %.3fs — \
+     %.2fx concurrency speedup (>= 1.2x target): %s%s\n"
+    sched_total sched_wall_1 sched_wall_4 conc_speedup conc_verdict
+    (match skip_reason with Some r -> " (" ^ r ^ ")" | None -> "");
+  Printf.printf
+    "inquiry load: %d clients x %d requests in %.3fs = %.0f req/s\n"
+    inq_clients inq_per_client inq_wall req_per_s;
+  Printf.printf "request latency: p50 %.3g ms, p95 %.3g ms, p99 %.3g ms\n"
+    (s.Core.Metricsreg.p50 *. 1e3)
+    (s.Core.Metricsreg.p95 *. 1e3)
+    (s.Core.Metricsreg.p99 *. 1e3);
+  Printf.printf
+    "cross-request inquiry cache: %d inquiries, %d hits (%.1f%%, > 0 gate): \
+     %s\n"
+    es.Engines.inquiries es.Engines.cache_hits (100.0 *. hit_rate)
+    cache_verdict;
+  let json_opt_string oc = function
+    | Some r -> Printf.fprintf oc "%S" r
+    | None -> Printf.fprintf oc "null"
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"cores\": %d,\n  \"host_cores\": %d,\n" cores
+        cores;
+      Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+      Printf.fprintf oc "  \"replies_ok\": %d,\n  \"replies_error\": %d,\n"
+        total_oks total_errs;
+      Printf.fprintf oc
+        "  \"schedule\": {\"requests\": %d, \"wall_1client_s\": %.4f, \
+         \"wall_4clients_s\": %.4f, \"concurrency_speedup\": %.3f, \
+         \"speedup_target\": 1.2, \"speedup_check\": %S, \"skip_reason\": "
+        sched_total sched_wall_1 sched_wall_4 conc_speedup conc_verdict;
+      json_opt_string oc skip_reason;
+      Printf.fprintf oc "},\n";
+      Printf.fprintf oc
+        "  \"inquiry\": {\"clients\": %d, \"requests\": %d, \"wall_s\": \
+         %.4f, \"req_per_s\": %.1f, \"latency_ms\": {\"count\": %d, \"p50\": \
+         %.4f, \"p95\": %.4f, \"p99\": %.4f}},\n"
+        inq_clients inq_total inq_wall req_per_s s.Core.Metricsreg.count
+        (s.Core.Metricsreg.p50 *. 1e3)
+        (s.Core.Metricsreg.p95 *. 1e3)
+        (s.Core.Metricsreg.p99 *. 1e3);
+      Printf.fprintf oc
+        "  \"cache\": {\"engines\": %d, \"inquiries\": %d, \"hits\": %d, \
+         \"hit_rate\": %.4f, \"check\": %S}\n}\n"
+        es.Engines.engines es.Engines.inquiries es.Engines.cache_hits hit_rate
+        cache_verdict);
+  Printf.printf "wrote BENCH_serve.json\n";
+  announce_json "BENCH_serve.json";
+  if total_errs > 0 || hit_rate <= 0.0 then exit 1
+
+(* ----------------------------------------------------------------------- *)
+(* 6. Observability overhead                                                *)
 (* ----------------------------------------------------------------------- *)
 
 (* The tracing layer promises that a disabled [with_span] costs one atomic
@@ -1288,6 +1443,7 @@ let () =
   timed_phase "parallel-scaling" parallel_scaling;
   timed_phase "kernels" kernel_speedups;
   timed_phase "transient" transient_speedup;
+  timed_phase "serve" serve_throughput;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)
   (match trace_path with

@@ -700,6 +700,141 @@ let artifacts_cmd =
              markdown, SVG, DOT, TGFF) into a directory.")
     Term.(const run $ dir_arg $ jobs_arg)
 
+(* --- client ------------------------------------------------------------- *)
+
+let client_cmd =
+  let module Serve = Core.Serve in
+  let parse_floats field s =
+    try Ok (Array.of_list (List.map float_of_string (String.split_on_char ',' s)))
+    with Failure _ ->
+      Error (Printf.sprintf "--%s wants comma-separated numbers" field)
+  in
+  let run socket kind json bench policy arch n_pes power idle periods dt
+      time_unit exact deadline_ms =
+    let reply =
+      match
+        Serve.Client.with_client socket @@ fun c ->
+        match json with
+      | Some raw -> Serve.Client.call c (or_die (Serve.Json.of_string raw))
+      | None ->
+          let open Serve.Protocol in
+          let sched () =
+            let bench = or_die (parse_bench bench) in
+            let policy = or_die (parse_policy policy) in
+            let arch =
+              match arch with
+              | "platform" -> Platform
+              | "cosynth" -> Cosynth
+              | other ->
+                  or_die
+                    (Error (Printf.sprintf "unknown architecture %S" other))
+            in
+            { bench; policy; arch; n_pes }
+          in
+          let kind =
+            match kind with
+            | "ping" -> Ping
+            | "stats" -> Stats
+            | "shutdown" -> Shutdown
+            | "schedule" -> Schedule (sched ())
+            | "transient" ->
+                Transient { sched = sched (); periods; dt; time_unit; exact }
+            | "inquiry" ->
+                let power =
+                  match power with
+                  | Some s -> or_die (parse_floats "power" s)
+                  | None -> or_die (Error "inquiry requires --power W,W,...")
+                in
+                let n = Array.length power in
+                let idle =
+                  match idle with
+                  | Some s -> or_die (parse_floats "idle" s)
+                  | None -> Array.make n 0.0
+                in
+                if Array.length idle <> n then
+                  or_die (Error "--idle must match --power in length");
+                Inquiry { n_pes = n; power; idle }
+            | other ->
+                or_die (Error (Printf.sprintf "unknown request kind %S" other))
+          in
+          Serve.Client.request c (request ?deadline_ms kind)
+      with
+      | r -> r
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))
+    in
+    match reply with
+    | Ok v ->
+        print_endline (Serve.Json.to_string v);
+        if not (Serve.Protocol.reply_ok v) then exit 1
+    | Error msg -> or_die (Error msg)
+  in
+  let socket_arg =
+    Arg.(value & opt string "tatsd.sock"
+         & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"The tatsd socket.")
+  in
+  let kind_arg =
+    let doc =
+      "Request kind: ping, stats, schedule, inquiry, transient or shutdown."
+    in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"KIND" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Send $(docv) verbatim as the request (overrides every other flag) — \
+       the escape hatch for hand-written requests."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"JSON" ~doc)
+  in
+  let n_pes_arg =
+    Arg.(value & opt int 4
+         & info [ "n-pes" ] ~docv:"N" ~doc:"Platform width for schedule/transient.")
+  in
+  let power_arg =
+    Arg.(value & opt (some string) None
+         & info [ "power" ] ~docv:"W,W,..."
+             ~doc:"Per-PE dynamic power for an inquiry request.")
+  in
+  let idle_arg =
+    Arg.(value & opt (some string) None
+         & info [ "idle" ] ~docv:"W,W,..."
+             ~doc:"Per-PE idle power for an inquiry request (default zeros).")
+  in
+  let periods_arg =
+    Arg.(value & opt int 50
+         & info [ "periods" ] ~docv:"N" ~doc:"Transient: schedule repetitions.")
+  in
+  let dt_arg =
+    Arg.(value & opt (some float) None
+         & info [ "dt" ] ~docv:"SECONDS"
+             ~doc:"Transient: integration step (default period/100).")
+  in
+  let time_unit_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "time-unit" ] ~docv:"SECONDS"
+             ~doc:"Transient: seconds per schedule time unit.")
+  in
+  let exact_arg =
+    Arg.(value & flag
+         & info [ "exact" ] ~doc:"Transient: bit-exact factored-solve stepper.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Queueing budget: the server answers `deadline' instead of \
+                   executing a request it could only dispatch later than this.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running tatsd and print the JSON reply. \
+             Exits 1 when the server answers with an error reply.")
+    Term.(
+      const run $ socket_arg $ kind_arg $ json_arg $ bench_arg $ policy_arg
+      $ arch_arg $ n_pes_arg $ power_arg $ idle_arg $ periods_arg $ dt_arg
+      $ time_unit_arg $ exact_arg $ deadline_arg)
+
 (* --- export ------------------------------------------------------------- *)
 
 let export_cmd =
@@ -731,5 +866,5 @@ let () =
             table1_cmd; table2_cmd; table3_cmd; checks_cmd; schedule_cmd;
             thermal_cmd; floorplan_cmd; export_cmd; compare_cmd; dvs_cmd;
             pareto_cmd; analyze_cmd; dtm_cmd'; transient_cmd; robustness_cmd;
-            artifacts_cmd;
+            artifacts_cmd; client_cmd;
           ]))

@@ -53,6 +53,7 @@ module Visuals = Tats_render.Visuals
 module Alloc = Tats_cosynth.Alloc
 module Flow = Tats_cosynth.Flow
 module Pareto = Tats_cosynth.Pareto
+module Serve = Tats_serve
 module Experiments = Experiments
 module Paper_data = Paper_data
 module Report = Report

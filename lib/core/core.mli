@@ -74,6 +74,7 @@ module Visuals = Tats_render.Visuals
 module Alloc = Tats_cosynth.Alloc
 module Flow = Tats_cosynth.Flow
 module Pareto = Tats_cosynth.Pareto
+module Serve = Tats_serve
 
 (** {1 Experiment reproduction} *)
 

@@ -100,11 +100,15 @@ let schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () =
   | Policy.Baseline ->
       List_sched.run ?weights ~hotspot ~graph ~lib ~pes:insts ~policy ()
 
-let run_platform ?(n_pes = 4) ?(package = Package.default) ?weights
+let run_platform ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
     ?(leakage = true) ~graph ~lib ~policy () =
   if Array.length (Library.kinds lib) <> 1 then
     invalid_arg "Flow.run_platform: the platform library must have one kind";
   if n_pes < 1 then invalid_arg "Flow.run_platform: need at least one PE";
+  (match hotspot with
+  | Some h when Hotspot.n_blocks h <> n_pes ->
+      invalid_arg "Flow.run_platform: hotspot block count must equal n_pes"
+  | _ -> ());
   Trace.with_span "flow.platform"
     ~args:
       [ ("pes", Trace.Int n_pes); ("policy", Trace.Str (Policy.name policy)) ]
@@ -113,9 +117,16 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?weights
   let log = ref [] in
   let push stage detail = log := { stage; detail } :: !log in
   push Allocation (Printf.sprintf "fixed platform: %d identical PEs" n_pes);
-  let placement = Grid.layout (blocks_of_insts insts) in
-  push Floorplanning "fixed grid floorplan";
-  let hotspot = Hotspot.create ~package placement in
+  let placement, hotspot =
+    match hotspot with
+    | Some h ->
+        push Floorplanning "fixed grid floorplan (shared warmed facade)";
+        (Hotspot.placement h, h)
+    | None ->
+        let placement = Grid.layout (blocks_of_insts insts) in
+        push Floorplanning "fixed grid floorplan";
+        (placement, Hotspot.create ~package placement)
+  in
   let schedule = schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () in
   push Scheduling
     (Printf.sprintf "policy %s, makespan %.1f / deadline %.0f" (Policy.name policy)

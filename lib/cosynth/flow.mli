@@ -45,6 +45,7 @@ type outcome = {
 val run_platform :
   ?n_pes:int ->
   ?package:Package.t ->
+  ?hotspot:Hotspot.t ->
   ?weights:Policy.weights ->
   ?leakage:bool ->
   graph:Graph.t ->
@@ -53,7 +54,16 @@ val run_platform :
   unit ->
   outcome
 (** Figure 1(b). [lib] must contain exactly one kind (see
-    {!Tats_techlib.Catalog.platform_library}); [n_pes] defaults to 4. *)
+    {!Tats_techlib.Catalog.platform_library}); [n_pes] defaults to 4.
+
+    [hotspot], when supplied, must wrap a placement with exactly [n_pes]
+    blocks ([Invalid_argument] otherwise); the flow then schedules against
+    that facade — and its already-warm inquiry cache — instead of building
+    a fresh grid layout, and [package] is ignored. This is the serving
+    layer's engine-sharing hook ([Tats_serve.Engines]): cache hits are
+    bit-exact copies of fresh solves, so the outcome's numbers are
+    identical to a cold run; only the [inquiry] counters (cumulative over
+    the facade's lifetime) differ. *)
 
 val run_cosynthesis :
   ?package:Package.t ->

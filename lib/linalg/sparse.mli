@@ -11,13 +11,20 @@ val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
     entries are summed. *)
 
 val rows : t -> int
+(** Number of rows. *)
+
 val cols : t -> int
+(** Number of columns. *)
+
 val nnz : t -> int
+(** Number of stored entries (after triplet summing; stored zeros count). *)
 
 val get : t -> int -> int -> float
 (** O(row nnz) lookup; 0.0 when absent. *)
 
 val mul_vec : t -> float array -> float array
+(** [mul_vec t v] is the matrix-vector product [t * v] as a fresh array of
+    length [rows t]. Allocating convenience wrapper over {!mul_vec_into}. *)
 
 val mul_vec_into : t -> float array -> float array -> unit
 (** [mul_vec_into t v dst] writes [t * v] into [dst] (length [rows t])
@@ -28,5 +35,9 @@ val diag : t -> float array
 (** Diagonal entries (0.0 where absent). *)
 
 val to_dense : t -> Matrix.t
+(** Dense copy — for tests and small matrices only; an m-by-n grid
+    conductance matrix explodes to (mn)² entries. *)
 
 val is_symmetric : ?eps:float -> t -> bool
+(** Whether [get t i j] and [get t j i] agree within [eps] (default 1e-9)
+    everywhere — the precondition the CG solver assumes. *)

@@ -1,0 +1,44 @@
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable closed : bool;
+}
+
+let connect ?(timeout_s = 30.0) ?(max_frame = Frame.max_frame_default) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_UNIX path);
+     (* SO_RCVTIMEO may be unsupported on exotic platforms; a hangless
+        receive is best-effort there. *)
+     try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+     with Unix.Unix_error _ | Invalid_argument _ -> ()
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call t json =
+  if t.closed then Error "client is closed"
+  else
+    match Frame.write t.fd (Json.to_string json) with
+    | () -> (
+        match Frame.read ~max_frame:t.max_frame t.fd with
+        | Ok payload -> (
+            match Json.of_string payload with
+            | Ok reply -> Ok reply
+            | Error msg -> Error ("unparseable reply: " ^ msg))
+        | Error e -> Error (Format.asprintf "%a" Frame.pp_read_error e))
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("send failed: " ^ Unix.error_message e)
+
+let request t req = call t (Protocol.request_to_json req)
+
+let with_client ?timeout_s ?max_frame path f =
+  let t = connect ?timeout_s ?max_frame path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

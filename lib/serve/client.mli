@@ -1,0 +1,31 @@
+(** A blocking [tatsd] client: one connection, framed JSON round trips.
+
+    The client is deliberately minimal — connect, send one frame, read one
+    frame — because the protocol is symmetric enough that tests, the
+    [tats client] subcommand and the bench load generator all share it.
+    One {!t} must not be used from two threads at once; the bench's
+    concurrent load generator opens one connection per worker instead. *)
+
+type t
+
+val connect : ?timeout_s:float -> ?max_frame:int -> string -> t
+(** Connect to the Unix-domain socket at the given path. [timeout_s]
+    (default 30) bounds each receive via [SO_RCVTIMEO] so a dead server
+    surfaces as an error rather than a hang; [max_frame] as in
+    {!Frame.read}. Raises [Unix.Unix_error] when the socket is absent or
+    refuses. *)
+
+val call : t -> Json.t -> (Json.t, string) result
+(** Send one JSON value as a frame and block for the reply frame.
+    [Error] covers transport failures (closed socket, timeout, truncated
+    or oversized reply) and an unparseable reply body. *)
+
+val request : t -> Protocol.request -> (Json.t, string) result
+(** [call] on {!Protocol.request_to_json}. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client :
+  ?timeout_s:float -> ?max_frame:int -> string -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exception). *)

@@ -1,0 +1,59 @@
+(** Warmed thermal-engine registry: one {!Tats_thermal.Hotspot} facade
+    (and therefore one {!Tats_thermal.Inquiry} engine and one
+    quantized-power cache) per {e platform fingerprint}, shared across
+    every request the server dispatches.
+
+    The quantized-power inquiry cache already hits 60%+ {e within} one
+    scheduling run; a long-running server sees the same platforms and
+    similar power vectors over and over {e across} requests, so keeping
+    the engine (influence matrix, factored network, cache) alive between
+    requests converts the first request's warm-up into every later
+    request's fast path. Cross-request reuse is observable as a non-zero
+    {!hit_rate} on a repeated-platform workload — the gate
+    [BENCH_serve.json] enforces.
+
+    A fingerprint identifies everything the engine's numbers depend on:
+    currently ["platform:<n_pes>"] — the fixed grid of identical catalog
+    PEs that {!Tats_cosynth.Flow.run_platform} would build for that
+    width, with the default package. Co-synthesis requests are {e not}
+    served from the registry: their placement is part of the answer, so
+    each builds its own facade (see DESIGN.md §11, engine-sharing
+    lifecycle).
+
+    Sharing is sound for bit-identity because the facade is thread-safe
+    and the cache is value-safe: a cache hit returns a bit-exact copy of
+    what a fresh default-settings solve would produce
+    ({!Tats_thermal.Inquiry}), so a served result never depends on which
+    requests warmed the cache first. *)
+
+type t
+
+val create : unit -> t
+(** An empty registry. Engines are built lazily, on first use of each
+    fingerprint, under the registry mutex. *)
+
+val platform : t -> n_pes:int -> Tats_thermal.Hotspot.t
+(** The shared facade for the [n_pes]-wide platform: a grid layout of
+    identical catalog PEs with the default package — numerically
+    identical to the facade a fresh
+    {!Tats_cosynth.Flow.run_platform} call would create. *)
+
+val count : t -> int
+(** Distinct fingerprints currently warmed. *)
+
+val fingerprints : t -> string list
+(** Warmed fingerprints, sorted. *)
+
+type stats = {
+  engines : int;
+  inquiries : int;  (** inquiries served across all registry engines *)
+  cache_hits : int;
+}
+
+val stats : t -> stats
+(** Aggregated {!Tats_thermal.Inquiry} counters over the registry's
+    engines — the cross-request reuse measurement. Engines whose inquiry
+    side was never touched contribute zeros. *)
+
+val hit_rate : stats -> float
+(** [cache_hits / inquiries], 0 when no inquiries were served. *)

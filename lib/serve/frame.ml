@@ -1,0 +1,58 @@
+let max_frame_default = 4 * 1024 * 1024
+
+type read_error = Eof | Truncated | Oversized of int
+
+let pp_read_error ppf = function
+  | Eof -> Format.fprintf ppf "end of stream"
+  | Truncated -> Format.fprintf ppf "truncated frame"
+  | Oversized n -> Format.fprintf ppf "oversized frame (%d bytes declared)" n
+
+(* [`Full] read all [len] bytes; [`None] the stream ended (or errored)
+   before the first byte; [`Partial] it ended inside the span. *)
+let read_exact fd buf len =
+  let rec go pos =
+    if pos = len then `Full
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> if pos = 0 then `None else `Partial
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error _ -> if pos = 0 then `None else `Partial
+  in
+  go 0
+
+let read ?(max_frame = max_frame_default) fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | `None -> Error Eof
+  | `Partial -> Error Truncated
+  | `Full -> (
+      let len =
+        (Char.code (Bytes.get header 0) lsl 24)
+        lor (Char.code (Bytes.get header 1) lsl 16)
+        lor (Char.code (Bytes.get header 2) lsl 8)
+        lor Char.code (Bytes.get header 3)
+      in
+      if len > max_frame then Error (Oversized len)
+      else
+        let payload = Bytes.create len in
+        match read_exact fd payload len with
+        | `Full -> Ok (Bytes.unsafe_to_string payload)
+        | `None | `Partial -> Error Truncated)
+
+let rec really_write fd buf pos len =
+  if len > 0 then
+    match Unix.write fd buf pos len with
+    | n -> really_write fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_write fd buf pos len
+
+let write fd payload =
+  let len = String.length payload in
+  if len > 0x3FFFFFFF then invalid_arg "Frame.write: payload too large";
+  let msg = Bytes.create (4 + len) in
+  Bytes.set msg 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set msg 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set msg 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set msg 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 msg 4 len;
+  really_write fd msg 0 (4 + len)

@@ -1,0 +1,39 @@
+(** Length-prefixed framing over a stream socket.
+
+    One frame is a 4-byte big-endian unsigned payload length followed by
+    that many bytes of UTF-8 JSON. The prefix makes message boundaries
+    explicit on a byte stream without any in-band delimiter scanning, and
+    lets the receiver reject an oversized request {e before} buffering it
+    — the first line of admission control.
+
+    Reads distinguish three failure shapes, because the server reacts
+    differently to each: a clean [Eof] between frames ends the
+    connection silently; a [Truncated] frame (EOF or error mid-frame)
+    means the peer died mid-send and the connection is unusable; an
+    [Oversized] length prefix is reported back to the peer (the framing
+    is still synchronized — the payload was never read) before the
+    server closes the connection rather than consume an attacker-sized
+    allocation. *)
+
+val max_frame_default : int
+(** 4 MiB — far above any request or reply the protocol produces. *)
+
+type read_error =
+  | Eof  (** clean end of stream on a frame boundary *)
+  | Truncated  (** stream ended inside a length prefix or payload *)
+  | Oversized of int
+      (** declared payload length, which exceeded [max_frame]; the
+          payload bytes were {e not} consumed *)
+
+val read : ?max_frame:int -> Unix.file_descr -> (string, read_error) result
+(** Blocking read of one frame's payload. Retries interrupted reads
+    ([EINTR]); any other [Unix_error] maps to [Truncated] ([Eof] if on
+    the frame boundary). *)
+
+val write : Unix.file_descr -> string -> unit
+(** Blocking write of one frame (prefix + payload). Raises
+    [Invalid_argument] when the payload cannot be length-prefixed in 31
+    bits, and lets [Unix_error] (e.g. [EPIPE] on a dead peer) escape to
+    the caller. *)
+
+val pp_read_error : Format.formatter -> read_error -> unit

@@ -1,0 +1,61 @@
+(** A minimal JSON value type with a parser and a printer — the wire
+    format of the {!Server} protocol, hand-rolled so the serving layer
+    adds no dependencies beyond what the repo already links.
+
+    The dialect is RFC 8259 minus two deliberate restrictions:
+
+    - All numbers are OCaml [float]s. Integers up to 2{^53} survive the
+      round trip exactly, which covers every count the protocol carries.
+    - Non-finite floats have no JSON spelling; {!to_string} emits them as
+      [null] (they never appear in well-formed replies — temperatures,
+      latencies and counters are finite by construction).
+
+    Printing uses the shortest [%.15g]/[%.16g]/[%.17g] form that parses
+    back to the identical bit pattern, so a float that crosses the wire
+    and is parsed again compares [=] to the original — the property the
+    serve test suite's bit-identity checks lean on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line, no insignificant whitespace) serialization.
+    Object member order is preserved. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error, as are
+    unterminated strings/structures, bad escapes, malformed numbers, and
+    nesting deeper than 512 (a cheap stack-overflow guard against
+    adversarial ["[[[[..."] frames — see [test_serve]'s fuzz cases). The
+    error string carries a 0-based byte offset. *)
+
+(** {1 Accessors}
+
+    Total functions used by the protocol decoder: each returns [None]
+    (or the [default]) rather than raising on a shape mismatch. *)
+
+val mem : string -> t -> t option
+(** [mem k (Obj _)] is the value bound to the {e first} occurrence of
+    [k]; [None] on missing keys and non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+val bool : t -> bool option
+val arr : t -> t list option
+
+val float_array : t -> float array option
+(** An [Arr] of numbers, as a float array; [None] on anything else. *)
+
+val get_bool : default:bool -> string -> t -> bool option
+(** [get_bool ~default k obj] is [Some b] when [k] is absent (then
+    [default]) or bound to a boolean; [None] when bound to any other
+    shape — absence is fine, a type error is not. [get_num]/[get_str]
+    behave the same way. *)
+
+val get_num : default:float -> string -> t -> float option
+val get_str : default:string -> string -> t -> string option

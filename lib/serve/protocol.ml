@@ -1,0 +1,288 @@
+module Policy = Tats_sched.Policy
+
+type arch = Platform | Cosynth
+
+let arch_name = function Platform -> "platform" | Cosynth -> "cosynth"
+
+type schedule_params = {
+  bench : int;
+  policy : Policy.t;
+  arch : arch;
+  n_pes : int;
+}
+
+type transient_params = {
+  sched : schedule_params;
+  periods : int;
+  dt : float option;
+  time_unit : float;
+  exact : bool;
+}
+
+type inquiry_params = {
+  n_pes : int;
+  power : float array;
+  idle : float array;
+}
+
+type kind =
+  | Ping
+  | Stats
+  | Schedule of schedule_params
+  | Inquiry of inquiry_params
+  | Transient of transient_params
+  | Sleep of float
+  | Shutdown
+
+let kind_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Schedule _ -> "schedule"
+  | Inquiry _ -> "inquiry"
+  | Transient _ -> "transient"
+  | Sleep _ -> "sleep"
+  | Shutdown -> "shutdown"
+
+type request = {
+  id : Json.t option;
+  deadline_ms : float option;
+  kind : kind;
+}
+
+let request ?id ?deadline_ms kind = { id; deadline_ms; kind }
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field_error field what =
+  Error (Printf.sprintf "field %S: %s" field what)
+
+let bench_of_name = function
+  | "Bm1" -> Ok 0
+  | "Bm2" -> Ok 1
+  | "Bm3" -> Ok 2
+  | "Bm4" -> Ok 3
+  | other ->
+      field_error "bench" (Printf.sprintf "unknown benchmark %S (want Bm1..Bm4)" other)
+
+let bench_name i = Printf.sprintf "Bm%d" (i + 1)
+
+let req_get obj field extract ~default ~what =
+  match extract ~default field obj with
+  | Some v -> Ok v
+  | None -> field_error field what
+
+let decode_schedule obj =
+  let* bench_s = req_get obj "bench" Json.get_str ~default:"Bm1" ~what:"must be a string" in
+  let* bench = bench_of_name bench_s in
+  let* policy_s =
+    req_get obj "policy" Json.get_str ~default:"thermal" ~what:"must be a string"
+  in
+  let* policy =
+    match Policy.of_name policy_s with
+    | Some p -> Ok p
+    | None -> field_error "policy" (Printf.sprintf "unknown policy %S" policy_s)
+  in
+  let* arch_s =
+    req_get obj "arch" Json.get_str ~default:"platform" ~what:"must be a string"
+  in
+  let* arch =
+    match arch_s with
+    | "platform" -> Ok Platform
+    | "cosynth" -> Ok Cosynth
+    | other ->
+        field_error "arch"
+          (Printf.sprintf "unknown architecture %S (want platform|cosynth)" other)
+  in
+  let* n_pes_f = req_get obj "n_pes" Json.get_num ~default:4.0 ~what:"must be a number" in
+  let n_pes = int_of_float n_pes_f in
+  if n_pes < 1 || n_pes > 64 then field_error "n_pes" "must be in [1, 64]"
+  else Ok { bench; policy; arch; n_pes }
+
+let decode_transient obj =
+  let* sched = decode_schedule obj in
+  let* periods_f =
+    req_get obj "periods" Json.get_num ~default:50.0 ~what:"must be a number"
+  in
+  let periods = int_of_float periods_f in
+  if periods < 2 then field_error "periods" "must be >= 2"
+  else
+    let* dt =
+      match Json.mem "dt" obj with
+      | None -> Ok None
+      | Some v -> (
+          match Json.num v with
+          | Some d when d > 0.0 -> Ok (Some d)
+          | _ -> field_error "dt" "must be a positive number")
+    in
+    let* time_unit =
+      req_get obj "time_unit" Json.get_num ~default:1e-3 ~what:"must be a number"
+    in
+    if time_unit <= 0.0 then field_error "time_unit" "must be positive"
+    else
+      let* exact =
+        req_get obj "exact" Json.get_bool ~default:false ~what:"must be a boolean"
+      in
+      Ok { sched; periods; dt; time_unit; exact }
+
+let decode_inquiry obj =
+  let* power =
+    match Json.mem "power" obj with
+    | Some v -> (
+        match Json.float_array v with
+        | Some a when Array.length a > 0 && Array.for_all Float.is_finite a ->
+            Ok a
+        | _ -> field_error "power" "must be a non-empty array of finite numbers")
+    | None -> field_error "power" "required"
+  in
+  let* n_pes_f =
+    req_get obj "n_pes" Json.get_num
+      ~default:(float_of_int (Array.length power))
+      ~what:"must be a number"
+  in
+  let n_pes = int_of_float n_pes_f in
+  if n_pes <> Array.length power then
+    field_error "n_pes" "must equal the length of \"power\""
+  else
+    let* idle =
+      match Json.mem "idle" obj with
+      | None -> Ok (Array.make n_pes 0.0)
+      | Some v -> (
+          match Json.float_array v with
+          | Some a when Array.length a = n_pes && Array.for_all Float.is_finite a
+            ->
+              Ok a
+          | _ ->
+              field_error "idle"
+                "must be an array of finite numbers, one per PE")
+    in
+    Ok { n_pes; power; idle }
+
+let request_of_json json =
+  match json with
+  | Json.Obj _ ->
+      let id = Json.mem "id" json in
+      let* deadline_ms =
+        match Json.mem "deadline_ms" json with
+        | None -> Ok None
+        | Some v -> (
+            match Json.num v with
+            | Some d when d >= 0.0 && Float.is_finite d -> Ok (Some d)
+            | _ -> field_error "deadline_ms" "must be a non-negative number")
+      in
+      let* kind_s =
+        match Json.mem "kind" json with
+        | Some v -> (
+            match Json.str v with
+            | Some s -> Ok s
+            | None -> field_error "kind" "must be a string")
+        | None -> field_error "kind" "required"
+      in
+      let* kind =
+        match kind_s with
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Stats
+        | "shutdown" -> Ok Shutdown
+        | "schedule" ->
+            let* p = decode_schedule json in
+            Ok (Schedule p)
+        | "inquiry" ->
+            let* p = decode_inquiry json in
+            Ok (Inquiry p)
+        | "transient" ->
+            let* p = decode_transient json in
+            Ok (Transient p)
+        | "sleep" ->
+            let* ms =
+              req_get json "ms" Json.get_num ~default:0.0 ~what:"must be a number"
+            in
+            if ms < 0.0 || ms > 60_000.0 then
+              field_error "ms" "must be in [0, 60000]"
+            else Ok (Sleep (ms /. 1000.0))
+        | other -> field_error "kind" (Printf.sprintf "unknown kind %S" other)
+      in
+      Ok { id; deadline_ms; kind }
+  | _ -> Error "request must be a JSON object"
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let request_to_json { id; deadline_ms; kind } =
+  let base = [ ("kind", Json.Str (kind_name kind)) ] in
+  let base = match id with Some v -> ("id", v) :: base | None -> base in
+  let base =
+    match deadline_ms with
+    | Some d -> base @ [ ("deadline_ms", Json.Num d) ]
+    | None -> base
+  in
+  let params =
+    let sched (p : schedule_params) =
+      [
+        ("bench", Json.Str (bench_name p.bench));
+        ("policy", Json.Str (Policy.name p.policy));
+        ("arch", Json.Str (arch_name p.arch));
+        ("n_pes", Json.Num (float_of_int p.n_pes));
+      ]
+    in
+    match kind with
+    | Ping | Stats | Shutdown -> []
+    | Sleep s -> [ ("ms", Json.Num (s *. 1000.0)) ]
+    | Schedule p -> sched p
+    | Inquiry p ->
+        [
+          ("n_pes", Json.Num (float_of_int p.n_pes));
+          ("power", Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) p.power)));
+          ("idle", Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) p.idle)));
+        ]
+    | Transient p ->
+        sched p.sched
+        @ [
+            ("periods", Json.Num (float_of_int p.periods));
+            ("time_unit", Json.Num p.time_unit);
+            ("exact", Json.Bool p.exact);
+          ]
+        @ (match p.dt with Some d -> [ ("dt", Json.Num d) ] | None -> [])
+  in
+  Json.Obj (base @ params)
+
+(* --- replies ------------------------------------------------------------ *)
+
+type error_code = Bad_request | Overloaded | Deadline | Shutting_down | Internal
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let with_id id members =
+  match id with Some v -> ("id", v) :: members | None -> members
+
+let ok_reply ?id ~kind payload =
+  Json.Obj (with_id id (("ok", Json.Bool true) :: ("kind", Json.Str kind) :: payload))
+
+let error_reply ?id code message =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (error_code_name code));
+               ("message", Json.Str message);
+             ] );
+       ])
+
+let reply_ok reply =
+  match Json.mem "ok" reply with Some (Json.Bool b) -> b | _ -> false
+
+let reply_error reply =
+  match Json.mem "error" reply with
+  | Some err -> (
+      match (Json.mem "code" err, Json.mem "message" err) with
+      | Some (Json.Str code), Some (Json.Str msg) -> Some (code, msg)
+      | Some (Json.Str code), _ -> Some (code, "")
+      | _ -> None)
+  | None -> None

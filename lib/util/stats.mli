@@ -1,11 +1,17 @@
 (** Small statistics helpers over float arrays. *)
 
 val sum : float array -> float
+(** Sum in index order (deterministic across runs); 0.0 on an empty array. *)
+
 val mean : float array -> float
 (** Mean of a non-empty array. *)
 
 val min : float array -> float
+(** Smallest element of a non-empty array. *)
+
 val max : float array -> float
+(** Largest element of a non-empty array. *)
+
 val stddev : float array -> float
 (** Population standard deviation of a non-empty array. *)
 
@@ -13,8 +19,16 @@ val spread : float array -> float
 (** [max - min] of a non-empty array. *)
 
 val median : float array -> float
+(** 50th percentile of a non-empty array — [percentile a 50.0]. The input
+    is not modified (sorting happens on a copy). *)
+
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [\[0, 100\]], linear interpolation. *)
 
 val argmax : float array -> int
+(** Index of the largest element of a non-empty array; on ties, the lowest
+    such index. *)
+
 val argmin : float array -> int
+(** Index of the smallest element of a non-empty array; on ties, the lowest
+    such index. *)
