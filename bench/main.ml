@@ -51,7 +51,33 @@ let only_phases =
     Sys.argv;
   !acc
 
+(* Every name ever passed to [timed_phase]; --only arguments are checked
+   against it up front, so a typo is a hard error instead of a silently
+   empty run. [timed_phase] cross-checks at runtime so the list cannot
+   drift from the actual phase calls. *)
+let known_phases =
+  [
+    "tables"; "figure1"; "ablation-weight-sweep"; "ablation-leakage";
+    "ablation-ga-effort"; "ablation-solvers"; "ablation-floorplanners";
+    "ablation-mappers"; "ablation-dvs"; "ablation-bus"; "ablation-stack";
+    "ablation-clustering"; "ablation-refinement"; "ablation-dtm";
+    "ablation-montecarlo"; "design-space"; "parallel-scaling"; "kernels";
+    "transient"; "online"; "serve"; "observability-overhead"; "timings";
+  ]
+
+let validate_only_phases () =
+  match List.filter (fun p -> not (List.mem p known_phases)) only_phases with
+  | [] -> ()
+  | unknown ->
+      Printf.eprintf "bench: unknown --only phase%s: %s\nvalid phases: %s\n"
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat ", " unknown)
+        (String.concat ", " known_phases);
+      exit 2
+
 let timed_phase name f =
+  if not (List.mem name known_phases) then
+    failwith ("bench: phase " ^ name ^ " missing from known_phases");
   if only_phases <> [] && not (List.mem name only_phases) then ()
   else begin
     let t0 = Unix.gettimeofday () in
@@ -1008,6 +1034,112 @@ let transient_speedup () =
   announce_json "BENCH_transient.json"
 
 (* ----------------------------------------------------------------------- *)
+(* 4c. Online scheduling — event-loop throughput and competitive ratios     *)
+(* ----------------------------------------------------------------------- *)
+
+(* The online event loop replans at every release, so its cost is measured
+   in scheduling decisions per second (one decision = one committed task),
+   not in schedules per second. Each scenario is scored against the
+   clairvoyant offline baseline; the gate restates the subsystem's core
+   guarantee — the clairvoyant never loses, so both empirical competitive
+   ratios are >= 1 on every stream. *)
+let online_bench () =
+  hr "Online scheduling — event-loop throughput vs clairvoyant baseline";
+  let lib = Core.Catalog.platform_library () in
+  let pes = Core.Catalog.platform_instances 4 in
+  let time_min ~samples f =
+    let best = ref infinity in
+    let v = ref None in
+    for _ = 1 to samples do
+      let t0 = Unix.gettimeofday () in
+      let r = Sys.opaque_identity (f ()) in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      v := Some r
+    done;
+    (!best, Option.get !v)
+  in
+  let scenarios =
+    [
+      (0, Core.Flow.Release_sporadic 1, Core.Online.Mirror Core.Policy.Baseline);
+      (0, Core.Flow.Release_sporadic 1, Core.Online.Mirror Core.Policy.Thermal_aware);
+      ( 0,
+        Core.Flow.Release_sporadic 1,
+        Core.Online.Reactive
+          { Core.Online.default_reactive with Core.Online.trigger = 50.0 } );
+      (1, Core.Flow.Release_sporadic 2, Core.Online.Mirror Core.Policy.Thermal_aware);
+      (2, Core.Flow.Release_trace, Core.Online.Mirror Core.Policy.Thermal_aware);
+    ]
+  in
+  Printf.printf "%-6s %-9s %-9s %9s %12s %8s %8s %6s\n" "bench" "arrivals"
+    "policy" "decisions" "decisions/s" "mkspn r" "peak r" "gate";
+  let rows =
+    List.map
+      (fun (bench, arrivals, policy) ->
+        let graph = Core.Benchmarks.load bench in
+        let o = Core.Flow.run_online ~arrivals ~graph ~lib ~policy () in
+        let st = o.Core.Flow.online.Core.Online.stats in
+        (* Throughput of the event loop alone — arrivals, platform and
+           facade held fixed, so the clairvoyant baseline and the Replay
+           scoring stay out of the measurement. *)
+        let run_wall, _ =
+          time_min ~samples:5 (fun () ->
+              Core.Online.run ~hotspot:o.Core.Flow.online_hotspot
+                ~arrivals:o.Core.Flow.online.Core.Online.arrivals ~graph ~lib
+                ~pes ~policy ())
+        in
+        let dps = float_of_int st.Core.Online.decisions /. Float.max run_wall 1e-9 in
+        let sc = o.Core.Flow.score in
+        let gate =
+          if
+            sc.Core.Online.makespan_ratio >= 1.0
+            && sc.Core.Online.peak_ratio >= 1.0
+          then "PASS"
+          else "FAIL"
+        in
+        Printf.printf "%-6s %-9s %-9s %9d %12.0f %8.4f %8.4f %6s\n"
+          (Core.Graph.name graph)
+          (Core.Flow.arrival_source_name arrivals)
+          (Core.Online.policy_name policy)
+          st.Core.Online.decisions dps sc.Core.Online.makespan_ratio
+          sc.Core.Online.peak_ratio gate;
+        ( Core.Graph.name graph,
+          Core.Flow.arrival_source_name arrivals,
+          Core.Online.policy_name policy,
+          st,
+          run_wall,
+          dps,
+          sc,
+          gate ))
+      scenarios
+  in
+  let verdict =
+    if List.for_all (fun (_, _, _, _, _, _, _, g) -> g = "PASS") rows then "PASS"
+    else "FAIL"
+  in
+  Printf.printf
+    "clairvoyant never loses (both ratios >= 1 on every stream): %s\n" verdict;
+  let oc = open_out "BENCH_online.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"ratio_floor\": 1.0,\n  \"scenarios\": [\n";
+      List.iteri
+        (fun i (bench, arrivals, policy, st, run_wall, dps, sc, gate) ->
+          Printf.fprintf oc
+            "    {\"bench\": %S, \"arrivals\": %S, \"policy\": %S, \
+             \"events\": %d, \"decisions\": %d, \"deferrals\": %d, \
+             \"run_wall_s\": %.6f, \"decisions_per_sec\": %.1f, \
+             \"makespan_ratio\": %.6f, \"peak_ratio\": %.6f, \"gate\": %S}%s\n"
+            bench arrivals policy st.Core.Online.events
+            st.Core.Online.decisions st.Core.Online.deferrals run_wall dps
+            sc.Core.Online.makespan_ratio sc.Core.Online.peak_ratio gate
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n  \"ratio_check\": %S\n}\n" verdict);
+  Printf.printf "wrote BENCH_online.json\n";
+  announce_json "BENCH_online.json"
+
+(* ----------------------------------------------------------------------- *)
 (* 5. Serving throughput — in-process tatsd under a concurrent load        *)
 (* ----------------------------------------------------------------------- *)
 
@@ -1401,6 +1533,7 @@ let run_timings () =
     (timing_tests ())
 
 let () =
+  validate_only_phases ();
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
   let flag_value name =
     let v = ref None in
@@ -1443,6 +1576,7 @@ let () =
   timed_phase "parallel-scaling" parallel_scaling;
   timed_phase "kernels" kernel_speedups;
   timed_phase "transient" transient_speedup;
+  timed_phase "online" online_bench;
   timed_phase "serve" serve_throughput;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)

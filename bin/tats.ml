@@ -609,6 +609,110 @@ let transient_cmd =
           $ time_unit_arg $ exact_arg $ csv_arg $ jobs_arg $ trace_arg
           $ metrics_arg)
 
+(* --- online --------------------------------------------------------------- *)
+
+let online_cmd =
+  let run bench policy arrivals seed mean_gap n_pes trigger jobs trace metrics =
+    set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
+    let bench = or_die (parse_bench bench) in
+    let policy =
+      match Core.Online.policy_of_name policy with
+      | Some (Core.Online.Reactive r) ->
+          Core.Online.Reactive
+            (match trigger with
+            | Some t -> { r with Core.Online.trigger = t }
+            | None -> r)
+      | Some p -> p
+      | None ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "unknown online policy %S (want baseline, h1, h2, h3, \
+                   thermal or reactive)"
+                  policy))
+    in
+    let arrivals =
+      match arrivals with
+      | "zero" -> Core.Flow.Release_zero
+      | "sporadic" -> Core.Flow.Release_sporadic seed
+      | "trace" -> Core.Flow.Release_trace
+      | other ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "unknown arrival source %S (want zero, sporadic or trace)"
+                  other))
+    in
+    if mean_gap <= 0.0 then or_die (Error "--mean-gap must be positive");
+    let graph = Core.Benchmarks.load bench in
+    let lib = Core.Catalog.platform_library () in
+    let o =
+      Core.Flow.run_online ~n_pes ~mean_gap ~arrivals ~graph ~lib ~policy ()
+    in
+    let stats = o.Core.Flow.online.Core.Online.stats in
+    Format.printf "%s / %a / %s arrivals%s on %d PEs@." (Core.Graph.name graph)
+      Core.Online.pp_policy policy
+      (Core.Flow.arrival_source_name arrivals)
+      (match arrivals with
+      | Core.Flow.Release_sporadic s ->
+          Printf.sprintf " (seed %d, mean gap %g)" s mean_gap
+      | Core.Flow.Release_zero | Core.Flow.Release_trace -> "")
+      n_pes;
+    Format.printf
+      "event loop: %d events, %d decisions, %d candidates evaluated, %d \
+       cooldown deferrals@."
+      stats.Core.Online.events stats.Core.Online.decisions
+      stats.Core.Online.candidates stats.Core.Online.deferrals;
+    if Float.is_finite stats.Core.Online.peak_observed then
+      Format.printf "live transient peak at decision points: %.2f °C@."
+        stats.Core.Online.peak_observed;
+    Format.printf "@.%a@." Core.Online.pp_score o.Core.Flow.score
+  in
+  let arrivals_arg =
+    Arg.(value & opt string "sporadic"
+         & info [ "arrivals" ] ~docv:"SRC"
+             ~doc:"Arrival stream: zero (everything releases at t=0), \
+                   sporadic (seeded random gaps along the precedence order) \
+                   or trace (the offline baseline schedule's start times).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Seed for the sporadic arrival stream (Rng.derive per \
+                   task).")
+  in
+  let mean_gap_arg =
+    Arg.(value & opt float 25.0
+         & info [ "mean-gap" ] ~docv:"T"
+             ~doc:"Mean release gap of the sporadic stream, in schedule time \
+                   units.")
+  in
+  let n_pes_arg =
+    Arg.(value & opt int 4
+         & info [ "n-pes" ] ~docv:"N" ~doc:"Platform width.")
+  in
+  let trigger_arg =
+    Arg.(value & opt (some float) None
+         & info [ "trigger" ] ~docv:"C"
+             ~doc:"Hot-PE trigger temperature (°C) for the reactive policy \
+                   (default 75).")
+  in
+  let policy_arg =
+    let doc = "Policy: baseline, h1, h2, h3, thermal or reactive." in
+    Arg.(value & opt string "thermal"
+         & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:"Run the online reactive scheduler over a task-arrival stream \
+             and score it against the clairvoyant offline baseline \
+             (empirical competitive ratios on makespan and peak \
+             temperature).")
+    Term.(const run $ bench_arg $ policy_arg $ arrivals_arg $ seed_arg
+          $ mean_gap_arg $ n_pes_arg $ trigger_arg $ jobs_arg $ trace_arg
+          $ metrics_arg)
+
 (* --- robustness ----------------------------------------------------------- *)
 
 let robustness_cmd =
@@ -865,6 +969,6 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; checks_cmd; schedule_cmd;
             thermal_cmd; floorplan_cmd; export_cmd; compare_cmd; dvs_cmd;
-            pareto_cmd; analyze_cmd; dtm_cmd'; transient_cmd; robustness_cmd;
-            artifacts_cmd; client_cmd;
+            pareto_cmd; analyze_cmd; dtm_cmd'; transient_cmd; online_cmd;
+            robustness_cmd; artifacts_cmd; client_cmd;
           ]))

@@ -46,6 +46,7 @@ module Bus_sched = Tats_sched.Bus_sched
 module Periodic = Tats_sched.Periodic
 module Dtm = Tats_sched.Dtm
 module Replay = Tats_sched.Replay
+module Online = Tats_sched.Online
 module Montecarlo = Tats_sched.Montecarlo
 module Metrics = Tats_sched.Metrics
 module Svg = Tats_render.Svg

@@ -326,3 +326,58 @@ let transient_demo ?(bench = 0) ?(periods = 25) () =
     dtm_peak = dtm.Dtm.peak_temperature;
     dtm_throttled = dtm.Dtm.throttled_fraction;
   }
+
+type online_row = {
+  o_arrivals : string;
+  o_policy : string;
+  o_events : int;
+  o_deferrals : int;
+  o_makespan : float;
+  o_clair_makespan : float;
+  o_makespan_ratio : float;
+  o_peak : float;
+  o_clair_peak : float;
+  o_peak_ratio : float;
+}
+
+type online_demo = { o_bench : string; o_seed : int; o_rows : online_row list }
+
+let online_scenarios seed =
+  let module Online = Tats_sched.Online in
+  [
+    (Flow.Release_zero, Online.Mirror Policy.Thermal_aware);
+    (Flow.Release_sporadic seed, Online.Mirror Policy.Baseline);
+    (Flow.Release_sporadic seed, Online.Mirror Policy.Thermal_aware);
+    (Flow.Release_sporadic seed, Online.Reactive Online.default_reactive);
+    (* A trigger low enough that the platform is "hot" at decision points:
+       this row exercises both migration pressure and cooldown deferrals. *)
+    ( Flow.Release_sporadic seed,
+      Online.Reactive { Online.default_reactive with Online.trigger = 50.0 } );
+    (Flow.Release_trace, Online.Mirror Policy.Thermal_aware);
+  ]
+
+let online_demo ?(bench = 0) ?(seed = 1) () =
+  let module Online = Tats_sched.Online in
+  let module Schedule = Tats_sched.Schedule in
+  let graph = Benchmarks.load bench in
+  let lib = Catalog.platform_library () in
+  let rows =
+    List.map
+      (fun (arrivals, policy) ->
+        let o = Flow.run_online ~arrivals ~graph ~lib ~policy () in
+        let s = o.Flow.score in
+        {
+          o_arrivals = Flow.arrival_source_name arrivals;
+          o_policy = Online.policy_name policy;
+          o_events = o.Flow.online.Online.stats.Online.events;
+          o_deferrals = o.Flow.online.Online.stats.Online.deferrals;
+          o_makespan = s.Online.online_makespan;
+          o_clair_makespan = s.Online.clairvoyant_makespan;
+          o_makespan_ratio = s.Online.makespan_ratio;
+          o_peak = s.Online.online_peak;
+          o_clair_peak = s.Online.clairvoyant_peak;
+          o_peak_ratio = s.Online.peak_ratio;
+        })
+      (online_scenarios seed)
+  in
+  { o_bench = Tats_taskgraph.Graph.name graph; o_seed = seed; o_rows = rows }

@@ -104,3 +104,27 @@ val transient_demo : ?bench:int -> ?periods:int -> unit -> transient_demo
     for [periods] (default 25) periods at dt = period/100, and run DTM with
     a 70 °C trigger. The golden test byte-compares
     {!Report.transient_demo} of this value. *)
+
+type online_row = {
+  o_arrivals : string;          (** "zero" / "sporadic" / "trace" *)
+  o_policy : string;
+  o_events : int;               (** decision points the event loop visited *)
+  o_deferrals : int;            (** reactive cooldown stalls *)
+  o_makespan : float;
+  o_clair_makespan : float;
+  o_makespan_ratio : float;     (** empirical competitive ratio, >= 1 *)
+  o_peak : float;               (** replay-scored peak temperature, °C *)
+  o_clair_peak : float;
+  o_peak_ratio : float;
+}
+
+type online_demo = { o_bench : string; o_seed : int; o_rows : online_row list }
+
+val online_demo : ?bench:int -> ?seed:int -> unit -> online_demo
+(** Deterministic exercise of the online reactive scheduler (default Bm1,
+    seed 1) across the arrival sources and policies: the degenerate zero
+    stream (whose makespan ratio is exactly 1 — online equals offline bit
+    for bit), seeded sporadic streams under mirror and reactive policies,
+    and the trace-driven stream. Every scenario goes through
+    {!Tats_cosynth.Flow.run_online}. The golden test byte-compares
+    {!Report.online_demo} of this value. *)

@@ -243,3 +243,25 @@ let transient_demo (d : Experiments.transient_demo) =
        d.Experiments.dtm_makespan d.Experiments.dtm_peak
        d.Experiments.dtm_throttled);
   Buffer.contents buf
+
+let online_demo (d : Experiments.online_demo) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Online scheduling vs clairvoyant — %s, platform, sporadic seed %d\n"
+       d.Experiments.o_bench d.Experiments.o_seed);
+  Buffer.add_string buf
+    "arrivals  policy    ev dfr   makespan  clairvoyant  ratio     peak °C  \
+     clair °C   ratio\n";
+  List.iter
+    (fun (r : Experiments.online_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-8s  %-8s %3d %3d  %9.4f    %9.4f %6.4f   %8.4f  %8.4f  %6.4f\n"
+           r.Experiments.o_arrivals r.Experiments.o_policy r.Experiments.o_events
+           r.Experiments.o_deferrals r.Experiments.o_makespan
+           r.Experiments.o_clair_makespan r.Experiments.o_makespan_ratio
+           r.Experiments.o_peak r.Experiments.o_clair_peak
+           r.Experiments.o_peak_ratio))
+    d.Experiments.o_rows;
+  Buffer.contents buf

@@ -29,3 +29,7 @@ val transient_demo : Experiments.transient_demo -> string
 (** Fixed-format rendering of {!Experiments.transient_demo} — the
     transient/DTM golden (test/goldens/transient.golden) byte-compares
     this string. *)
+
+val online_demo : Experiments.online_demo -> string
+(** Fixed-format rendering of {!Experiments.online_demo} — the online
+    golden (test/goldens/online.golden) byte-compares this string. *)

@@ -11,6 +11,7 @@ module Inquiry = Tats_thermal.Inquiry
 module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module List_sched = Tats_sched.List_sched
+module Online = Tats_sched.Online
 module Metrics = Tats_sched.Metrics
 module Trace = Tats_util.Trace
 module Metricsreg = Tats_util.Metricsreg
@@ -134,6 +135,73 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
   push Thermal_extraction (inquiry_detail hotspot);
   let arch_cost = float_of_int n_pes *. (Library.kind lib 0).Pe.cost in
   finalize ~leakage ~lib ~hotspot ~arch_cost ~outer:1 ~log:!log schedule placement
+
+type arrival_source = Release_zero | Release_sporadic of int | Release_trace
+
+let arrival_source_name = function
+  | Release_zero -> "zero"
+  | Release_sporadic _ -> "sporadic"
+  | Release_trace -> "trace"
+
+type online_outcome = {
+  online : Online.run;
+  clairvoyant_schedule : Schedule.t;
+  score : Online.score;
+  online_hotspot : Hotspot.t;
+}
+
+(* The canonical online-scenario assembly: every consumer (CLI, serving
+   layer, golden demo, bench) goes through here so their numbers
+   bit-compare equal. The platform is the exact run_platform facade;
+   [hotspot] is the serving layer's engine-sharing hook, as above. *)
+let run_online ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
+    ?(mean_gap = 25.0) ?periods ~arrivals ~graph ~lib ~policy () =
+  if Array.length (Library.kinds lib) <> 1 then
+    invalid_arg "Flow.run_online: the platform library must have one kind";
+  if n_pes < 1 then invalid_arg "Flow.run_online: need at least one PE";
+  (match hotspot with
+  | Some h when Hotspot.n_blocks h <> n_pes ->
+      invalid_arg "Flow.run_online: hotspot block count must equal n_pes"
+  | _ -> ());
+  Trace.with_span "flow.online"
+    ~args:
+      [
+        ("pes", Trace.Int n_pes);
+        ("policy", Trace.Str (Online.policy_name policy));
+        ("arrivals", Trace.Str (arrival_source_name arrivals));
+      ]
+  @@ fun () ->
+  let insts = Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0)) in
+  let hotspot =
+    match hotspot with
+    | Some h -> h
+    | None -> Hotspot.create ~package (Grid.layout (blocks_of_insts insts))
+  in
+  let release =
+    match arrivals with
+    | Release_zero -> Online.zero graph
+    | Release_sporadic seed -> Online.sporadic ~mean_gap ~seed graph
+    | Release_trace ->
+        (* Replay a previously observed execution: the offline baseline
+           schedule's start times become the release stream. *)
+        Online.of_trace
+          (List_sched.run ~graph ~lib ~pes:insts ~policy:Policy.Baseline ())
+  in
+  let online =
+    Online.run ?weights ~hotspot ~arrivals:release ~graph ~lib ~pes:insts
+      ~policy ()
+  in
+  let clairvoyant_schedule =
+    Online.clairvoyant ?weights ~hotspot ~arrivals:release ~graph ~lib
+      ~pes:insts
+      ~policy:(Online.base_policy policy)
+      ()
+  in
+  let score =
+    Online.score ?periods ~lib ~hotspot ~clairvoyant:clairvoyant_schedule
+      online
+  in
+  { online; clairvoyant_schedule; score; online_hotspot = hotspot }
 
 (* Thermal term of the GA objective: the peak steady-state temperature of
    the placement under a fixed per-block power estimate, scaled to compete

@@ -65,6 +65,49 @@ val run_platform :
     identical to a cold run; only the [inquiry] counters (cumulative over
     the facade's lifetime) differ. *)
 
+(** {1 Online scheduling scenarios} *)
+
+type arrival_source =
+  | Release_zero  (** everything releases at t = 0 *)
+  | Release_sporadic of int
+      (** seeded sporadic stream ({!Tats_sched.Online.sporadic}) *)
+  | Release_trace
+      (** the offline baseline schedule's start times replayed as releases *)
+
+val arrival_source_name : arrival_source -> string
+(** ["zero"], ["sporadic"], ["trace"]. *)
+
+type online_outcome = {
+  online : Tats_sched.Online.run;
+  clairvoyant_schedule : Schedule.t;
+  score : Tats_sched.Online.score;
+  online_hotspot : Hotspot.t;
+}
+
+val run_online :
+  ?n_pes:int ->
+  ?package:Package.t ->
+  ?hotspot:Hotspot.t ->
+  ?weights:Policy.weights ->
+  ?mean_gap:float ->
+  ?periods:int ->
+  arrivals:arrival_source ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  policy:Tats_sched.Online.policy ->
+  unit ->
+  online_outcome
+(** The canonical online streaming scenario on the platform architecture:
+    build the {!run_platform} facade (or reuse [hotspot], the serving
+    layer's engine-sharing hook — same block-count contract as
+    {!run_platform}), derive the arrival stream from [arrivals]
+    ([mean_gap] feeds the sporadic generator), run the online event loop,
+    run the clairvoyant baseline under the online policy's base DC
+    family, and replay-score both ([periods] as in
+    {!Tats_sched.Online.score}). Every consumer — CLI, server, goldens,
+    bench — assembles the scenario through this function, so their
+    numbers bit-compare equal. *)
+
 val run_cosynthesis :
   ?package:Package.t ->
   ?weights:Policy.weights ->

@@ -1,4 +1,5 @@
 module Policy = Tats_sched.Policy
+module Online = Tats_sched.Online
 
 type arch = Platform | Cosynth
 
@@ -25,12 +26,29 @@ type inquiry_params = {
   idle : float array;
 }
 
+type online_arrivals = Zero | Sporadic | Trace
+
+let online_arrivals_name = function
+  | Zero -> "zero"
+  | Sporadic -> "sporadic"
+  | Trace -> "trace"
+
+type online_params = {
+  o_bench : int;
+  o_n_pes : int;
+  o_policy : Online.policy;
+  o_arrivals : online_arrivals;
+  o_seed : int;
+  o_mean_gap : float;
+}
+
 type kind =
   | Ping
   | Stats
   | Schedule of schedule_params
   | Inquiry of inquiry_params
   | Transient of transient_params
+  | Online of online_params
   | Sleep of float
   | Shutdown
 
@@ -40,6 +58,7 @@ let kind_name = function
   | Schedule _ -> "schedule"
   | Inquiry _ -> "inquiry"
   | Transient _ -> "transient"
+  | Online _ -> "online"
   | Sleep _ -> "sleep"
   | Shutdown -> "shutdown"
 
@@ -159,6 +178,60 @@ let decode_inquiry obj =
     in
     Ok { n_pes; power; idle }
 
+let decode_online obj =
+  let* bench_s = req_get obj "bench" Json.get_str ~default:"Bm1" ~what:"must be a string" in
+  let* o_bench = bench_of_name bench_s in
+  let* policy_s =
+    req_get obj "policy" Json.get_str ~default:"thermal" ~what:"must be a string"
+  in
+  let* policy =
+    match Online.policy_of_name policy_s with
+    | Some p -> Ok p
+    | None ->
+        field_error "policy"
+          (Printf.sprintf "unknown online policy %S (want baseline|h1|h2|h3|thermal|reactive)"
+             policy_s)
+  in
+  let* o_policy =
+    match Json.mem "trigger" obj with
+    | None -> Ok policy
+    | Some v -> (
+        match (policy, Json.num v) with
+        | Online.Reactive r, Some t when t > 0.0 && Float.is_finite t ->
+            Ok (Online.Reactive { r with Online.trigger = t })
+        | Online.Reactive _, _ -> field_error "trigger" "must be a positive number"
+        | Online.Mirror _, _ ->
+            field_error "trigger" "only meaningful with the reactive policy")
+  in
+  let* arrivals_s =
+    req_get obj "arrivals" Json.get_str ~default:"sporadic" ~what:"must be a string"
+  in
+  let* o_arrivals =
+    match arrivals_s with
+    | "zero" -> Ok Zero
+    | "sporadic" -> Ok Sporadic
+    | "trace" -> Ok Trace
+    | other ->
+        field_error "arrivals"
+          (Printf.sprintf "unknown arrival stream %S (want zero|sporadic|trace)" other)
+  in
+  let* seed_f = req_get obj "seed" Json.get_num ~default:1.0 ~what:"must be a number" in
+  let o_seed = int_of_float seed_f in
+  if o_seed < 0 then field_error "seed" "must be non-negative"
+  else
+    let* o_mean_gap =
+      req_get obj "mean_gap" Json.get_num ~default:25.0 ~what:"must be a number"
+    in
+    if not (o_mean_gap > 0.0 && Float.is_finite o_mean_gap) then
+      field_error "mean_gap" "must be a positive number"
+    else
+      let* n_pes_f =
+        req_get obj "n_pes" Json.get_num ~default:4.0 ~what:"must be a number"
+      in
+      let o_n_pes = int_of_float n_pes_f in
+      if o_n_pes < 1 || o_n_pes > 64 then field_error "n_pes" "must be in [1, 64]"
+      else Ok { o_bench; o_n_pes; o_policy; o_arrivals; o_seed; o_mean_gap }
+
 let request_of_json json =
   match json with
   | Json.Obj _ ->
@@ -193,6 +266,9 @@ let request_of_json json =
         | "transient" ->
             let* p = decode_transient json in
             Ok (Transient p)
+        | "online" ->
+            let* p = decode_online json in
+            Ok (Online p)
         | "sleep" ->
             let* ms =
               req_get json "ms" Json.get_num ~default:0.0 ~what:"must be a number"
@@ -242,6 +318,18 @@ let request_to_json { id; deadline_ms; kind } =
             ("exact", Json.Bool p.exact);
           ]
         @ (match p.dt with Some d -> [ ("dt", Json.Num d) ] | None -> [])
+    | Online p ->
+        [
+          ("bench", Json.Str (bench_name p.o_bench));
+          ("policy", Json.Str (Online.policy_name p.o_policy));
+          ("arrivals", Json.Str (online_arrivals_name p.o_arrivals));
+          ("seed", Json.Num (float_of_int p.o_seed));
+          ("mean_gap", Json.Num p.o_mean_gap);
+          ("n_pes", Json.Num (float_of_int p.o_n_pes));
+        ]
+        @ (match p.o_policy with
+          | Online.Reactive r -> [ ("trigger", Json.Num r.Online.trigger) ]
+          | Online.Mirror _ -> [])
   in
   Json.Obj (base @ params)
 

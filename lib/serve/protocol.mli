@@ -6,7 +6,7 @@
     {v
     request    := { "kind": KIND, ["id": any], ["deadline_ms": num], ...params }
     KIND       := "ping" | "stats" | "schedule" | "inquiry"
-                | "transient" | "sleep" | "shutdown"
+                | "transient" | "online" | "sleep" | "shutdown"
     schedule   := "bench": "Bm1".."Bm4", ["policy": POLICY = "thermal"],
                   ["arch": "platform" | "cosynth" = "platform"],
                   ["n_pes": int = 4]
@@ -14,8 +14,14 @@
                   ["n_pes": int = length of power]
     transient  := schedule params plus ["periods": int = 50], ["dt": num],
                   ["time_unit": num = 1e-3], ["exact": bool = false]
+    online     := "bench": "Bm1".."Bm4", ["policy": OPOLICY = "thermal"],
+                  ["trigger": num, reactive only],
+                  ["arrivals": "zero" | "sporadic" | "trace" = "sporadic"],
+                  ["seed": int = 1], ["mean_gap": num = 25],
+                  ["n_pes": int = 4]
     sleep      := ["ms": num = 0]          (testing / load-generation aid)
     POLICY     := "baseline" | "h1" | "h2" | "h3" | "thermal"
+    OPOLICY    := POLICY | "reactive"
     v}
 
     Replies are [{"ok": true, "kind": ..., "id": <echoed>, ...payload}] or
@@ -33,6 +39,7 @@
     worth its complexity. *)
 
 module Policy = Tats_sched.Policy
+module Online = Tats_sched.Online
 
 type arch = Platform | Cosynth
 
@@ -62,12 +69,29 @@ type inquiry_params = {
   idle : float array;  (** per-PE idle (leakage-coupled) power, W *)
 }
 
+type online_arrivals =
+  | Zero  (** every task released at t = 0 (offline-degenerate) *)
+  | Sporadic  (** seeded sporadic stream ({!Tats_sched.Online.sporadic}) *)
+  | Trace  (** releases from a baseline offline schedule's start times *)
+
+val online_arrivals_name : online_arrivals -> string
+
+type online_params = {
+  o_bench : int;  (** benchmark index 0-3 = Bm1-Bm4 *)
+  o_n_pes : int;
+  o_policy : Online.policy;
+  o_arrivals : online_arrivals;
+  o_seed : int;  (** sporadic stream seed; ignored by [Zero]/[Trace] *)
+  o_mean_gap : float;  (** mean sporadic inter-release gap, time units *)
+}
+
 type kind =
   | Ping
   | Stats
   | Schedule of schedule_params
   | Inquiry of inquiry_params
   | Transient of transient_params
+  | Online of online_params
   | Sleep of float  (** seconds *)
   | Shutdown
 
@@ -88,7 +112,9 @@ val request_of_json : Json.t -> (request, string) result
 
 val request_to_json : request -> Json.t
 (** The client-side encoder; [request_of_json (request_to_json r) = Ok r]
-    for any well-formed [r]. *)
+    for any well-formed [r]. The one caveat: of a reactive online policy
+    only the trigger travels on the wire, so round-tripping requires the
+    other reactive knobs to be {!Tats_sched.Online.default_reactive}. *)
 
 (** {1 Replies} *)
 

@@ -9,6 +9,7 @@ module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
 module Metrics = Tats_sched.Metrics
 module Replay = Tats_sched.Replay
+module Online = Tats_sched.Online
 module Flow = Tats_cosynth.Flow
 
 let m_requests = Metricsreg.counter "serve.requests"
@@ -191,6 +192,48 @@ let handle t (req : Protocol.request) =
         ("max_temp", Json.Num max_t);
         ("avg_temp", Json.Num (sum /. float_of_int (Array.length temps)));
       ]
+  | Protocol.Online p ->
+      let graph = Benchmarks.load p.Protocol.o_bench in
+      let lib = Catalog.platform_library () in
+      let hotspot = Engines.platform t.engines ~n_pes:p.Protocol.o_n_pes in
+      let arrivals =
+        match p.Protocol.o_arrivals with
+        | Protocol.Zero -> Flow.Release_zero
+        | Protocol.Sporadic -> Flow.Release_sporadic p.Protocol.o_seed
+        | Protocol.Trace -> Flow.Release_trace
+      in
+      let o =
+        Flow.run_online ~n_pes:p.Protocol.o_n_pes ~hotspot
+          ~mean_gap:p.Protocol.o_mean_gap ~arrivals ~graph ~lib
+          ~policy:p.Protocol.o_policy ()
+      in
+      let s = o.Flow.online.Online.schedule in
+      let st = o.Flow.online.Online.stats in
+      let sc = o.Flow.score in
+      [
+        ("bench", Json.Str (Protocol.bench_name p.Protocol.o_bench));
+        ("policy", Json.Str (Online.policy_name p.Protocol.o_policy));
+        ( "arrivals",
+          Json.Str (Protocol.online_arrivals_name p.Protocol.o_arrivals) );
+        ("seed", Json.Num (float_of_int p.Protocol.o_seed));
+        ("mean_gap", Json.Num p.Protocol.o_mean_gap);
+        ("n_pes", Json.Num (float_of_int (Schedule.n_pes s)));
+        ("makespan", Json.Num s.Schedule.makespan);
+        ("deadline", Json.Num (Graph.deadline graph));
+        ("deadline_met", Json.Bool (Schedule.meets_deadline s));
+        ("events", Json.Num (float_of_int st.Online.events));
+        ("decisions", Json.Num (float_of_int st.Online.decisions));
+        ("candidates", Json.Num (float_of_int st.Online.candidates));
+        ("deferrals", Json.Num (float_of_int st.Online.deferrals));
+        ("online_makespan", Json.Num sc.Online.online_makespan);
+        ("clairvoyant_makespan", Json.Num sc.Online.clairvoyant_makespan);
+        ("makespan_ratio", Json.Num sc.Online.makespan_ratio);
+        ("online_peak", Json.Num sc.Online.online_peak);
+        ("clairvoyant_peak", Json.Num sc.Online.clairvoyant_peak);
+        ("peak_ratio", Json.Num sc.Online.peak_ratio);
+        ("mimicked_makespan", Json.Bool sc.Online.mimicked_makespan);
+        ("mimicked_peak", Json.Bool sc.Online.mimicked_peak);
+      ]
   | Protocol.Transient tp ->
       let graph, lib, o = run_flow t tp.Protocol.sched in
       let profile =
@@ -335,7 +378,7 @@ let handle_incoming t conn (req : Protocol.request) =
            [ ("stopping", Json.Bool true) ]);
       stop t
   | Protocol.Schedule _ | Protocol.Inquiry _ | Protocol.Transient _
-  | Protocol.Sleep _ ->
+  | Protocol.Online _ | Protocol.Sleep _ ->
       admit t conn req
 
 let reader t conn =

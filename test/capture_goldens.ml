@@ -14,6 +14,12 @@
 
      dune exec test/capture_goldens.exe -- transient > test/goldens/transient.golden
 
+   With the argument [online], prints the online-vs-clairvoyant summary
+   (captured when the online reactive scheduler landed; the zero-stream
+   row doubles as the bit-identity proof — its ratio must be exactly 1):
+
+     dune exec test/capture_goldens.exe -- online > test/goldens/online.golden
+
    Only regenerate a golden when a change is *meant* to move the
    numbers (new benchmarks, model changes) — never to paper over a
    kernel regression. *)
@@ -35,10 +41,14 @@ let capture_tables () =
 let capture_transient () =
   print_string (Core.Report.transient_demo (Core.Experiments.transient_demo ()))
 
+let capture_online () =
+  print_string (Core.Report.online_demo (Core.Experiments.online_demo ()))
+
 let () =
   match Sys.argv with
   | [| _ |] -> capture_tables ()
   | [| _; "transient" |] -> capture_transient ()
+  | [| _; "online" |] -> capture_online ()
   | _ ->
-      prerr_endline "usage: capture_goldens [transient]";
+      prerr_endline "usage: capture_goldens [transient|online]";
       exit 2

@@ -206,6 +206,16 @@ let test_transient_matches_golden () =
   check_against_golden ~what:"transient/DTM numbers" ~basename:"transient.golden"
     (Core.Report.transient_demo (Core.Experiments.transient_demo ()))
 
+let test_online_matches_golden () =
+  (* And for the online subsystem: the zero/sporadic/trace scenarios vs the
+     clairvoyant baseline on Bm1, byte for byte. The zero-stream row is the
+     bit-identity proof in golden form — its ratio column must read exactly
+     1.0000. Regenerate (only for intentional number changes) with:
+       dune exec test/capture_goldens.exe -- online > test/goldens/online.golden *)
+  check_against_golden ~what:"online scheduling numbers"
+    ~basename:"online.golden"
+    (Core.Report.online_demo (Core.Experiments.online_demo ()))
+
 let test_csv_exports_match_tables () =
   let csv = Core.Report.table1_csv (Lazy.force table1) in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -226,6 +236,8 @@ let () =
           Alcotest.test_case "tables match golden" `Quick test_tables_match_golden;
           Alcotest.test_case "transient matches golden" `Quick
             test_transient_matches_golden;
+          Alcotest.test_case "online matches golden" `Quick
+            test_online_matches_golden;
           Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
         ] );
       ( "figure1",

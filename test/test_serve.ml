@@ -20,6 +20,7 @@ module Block = Tats_floorplan.Block
 module Grid = Tats_floorplan.Grid
 module Hotspot = Tats_thermal.Hotspot
 module Policy = Tats_sched.Policy
+module Online = Tats_sched.Online
 module Schedule = Tats_sched.Schedule
 module Metrics = Tats_sched.Metrics
 module Replay = Tats_sched.Replay
@@ -262,6 +263,37 @@ let test_protocol_roundtrip () =
              time_unit = 1e-3;
              exact = true;
            });
+      Protocol.request ~id:(Json.Str "o1")
+        (Protocol.Online
+           {
+             Protocol.o_bench = 0;
+             o_n_pes = 4;
+             o_policy = Online.Mirror (policy "thermal");
+             o_arrivals = Protocol.Zero;
+             o_seed = 1;
+             o_mean_gap = 25.0;
+           });
+      Protocol.request
+        (Protocol.Online
+           {
+             Protocol.o_bench = 2;
+             o_n_pes = 6;
+             o_policy =
+               Online.Reactive { Online.default_reactive with Online.trigger = 50.0 };
+             o_arrivals = Protocol.Sporadic;
+             o_seed = 42;
+             o_mean_gap = 12.5;
+           });
+      Protocol.request
+        (Protocol.Online
+           {
+             Protocol.o_bench = 1;
+             o_n_pes = 4;
+             o_policy = Online.Mirror (policy "baseline");
+             o_arrivals = Protocol.Trace;
+             o_seed = 0;
+             o_mean_gap = 25.0;
+           });
     ]
   in
   List.iter
@@ -296,6 +328,16 @@ let test_protocol_rejects () =
       {|{"kind": "sleep", "ms": -1}|};
       {|{"kind": "sleep", "ms": 60001}|};
       {|{"kind": "ping", "deadline_ms": -2}|};
+      {|{"kind": "online", "bench": "Bm9"}|};
+      {|{"kind": "online", "policy": "psychic"}|};
+      {|{"kind": "online", "policy": "thermal", "trigger": 60}|};
+      {|{"kind": "online", "policy": "reactive", "trigger": 0}|};
+      {|{"kind": "online", "policy": "reactive", "trigger": -5}|};
+      {|{"kind": "online", "arrivals": "burst"}|};
+      {|{"kind": "online", "seed": -1}|};
+      {|{"kind": "online", "mean_gap": 0}|};
+      {|{"kind": "online", "n_pes": 0}|};
+      {|{"kind": "online", "n_pes": 65}|};
     ]
   in
   List.iter
@@ -527,6 +569,69 @@ let test_transient_bit_identity () =
   let peaks = Replay.peaks ~periods:10 ~hotspot:o.Flow.hotspot profile in
   check_bits_arr "transient peaks" (get_farr reply "peaks") peaks
 
+let test_online_bit_identity () =
+  let path = "t_serve_online.sock" in
+  with_server path @@ fun _server ->
+  let ask c o_arrivals o_policy o_seed =
+    ok_or_fail "online"
+      (Client.request c
+         (Protocol.request
+            (Protocol.Online
+               {
+                 Protocol.o_bench = 0;
+                 o_n_pes = 4;
+                 o_policy;
+                 o_arrivals;
+                 o_seed;
+                 o_mean_gap = 25.0;
+               })))
+  in
+  Client.with_client path @@ fun c ->
+  (* Sporadic stream under the reactive policy: every scored number the
+     server reports must be bitwise the library's own. *)
+  let reply =
+    ask c Protocol.Sporadic (Online.Reactive Online.default_reactive) 3
+  in
+  Alcotest.(check bool) "online ok" true (Protocol.reply_ok reply);
+  let graph = Benchmarks.load 0 in
+  let lib = Catalog.platform_library () in
+  let o =
+    Flow.run_online ~arrivals:(Flow.Release_sporadic 3) ~graph ~lib
+      ~policy:(Online.Reactive Online.default_reactive) ()
+  in
+  check_bits "online makespan"
+    (get_num reply "makespan")
+    o.Flow.online.Online.schedule.Schedule.makespan;
+  check_bits "online_makespan"
+    (get_num reply "online_makespan")
+    o.Flow.score.Online.online_makespan;
+  check_bits "clairvoyant_makespan"
+    (get_num reply "clairvoyant_makespan")
+    o.Flow.score.Online.clairvoyant_makespan;
+  check_bits "makespan_ratio"
+    (get_num reply "makespan_ratio")
+    o.Flow.score.Online.makespan_ratio;
+  check_bits "online_peak"
+    (get_num reply "online_peak")
+    o.Flow.score.Online.online_peak;
+  check_bits "clairvoyant_peak"
+    (get_num reply "clairvoyant_peak")
+    o.Flow.score.Online.clairvoyant_peak;
+  check_bits "peak_ratio"
+    (get_num reply "peak_ratio")
+    o.Flow.score.Online.peak_ratio;
+  Alcotest.(check int)
+    "events" o.Flow.online.Online.stats.Online.events
+    (int_of_float (get_num reply "events"));
+  Alcotest.(check int)
+    "deferrals" o.Flow.online.Online.stats.Online.deferrals
+    (int_of_float (get_num reply "deferrals"));
+  (* Degenerate zero stream: the served ratios must be exactly 1.0 — the
+     wire-level restatement of the offline bit-identity theorem. *)
+  let zero = ask c Protocol.Zero (Online.Mirror (policy "thermal")) 1 in
+  check_bits "zero makespan_ratio" (get_num zero "makespan_ratio") 1.0;
+  check_bits "zero peak_ratio" (get_num zero "peak_ratio") 1.0
+
 let test_deadline_expiry () =
   let path = "t_serve_deadline.sock" in
   with_server ~config:{ Server.default_config with Server.batch_max = 1 } path
@@ -546,6 +651,39 @@ let test_deadline_expiry () =
     ok_or_fail "deadline request"
       (Client.request c
          (Protocol.request ~deadline_ms:1.0 (Protocol.Sleep 0.0)))
+  in
+  Thread.join sleeper;
+  Alcotest.(check string) "deadline code" "deadline" (error_code reply)
+
+let test_online_deadline_expiry () =
+  let path = "t_serve_online_dl.sock" in
+  with_server ~config:{ Server.default_config with Server.batch_max = 1 } path
+  @@ fun _server ->
+  (* An online scenario whose queueing budget lapses while the dispatcher
+     is busy must be answered `deadline` — the arrival stream is never
+     simulated. *)
+  let sleeper =
+    Thread.create
+      (fun () ->
+        Client.with_client path @@ fun c ->
+        ignore (Client.request c (Protocol.request (Protocol.Sleep 0.4))))
+      ()
+  in
+  Thread.delay 0.1;
+  let reply =
+    Client.with_client path @@ fun c ->
+    ok_or_fail "online deadline request"
+      (Client.request c
+         (Protocol.request ~deadline_ms:1.0
+            (Protocol.Online
+               {
+                 Protocol.o_bench = 0;
+                 o_n_pes = 4;
+                 o_policy = Online.Reactive Online.default_reactive;
+                 o_arrivals = Protocol.Sporadic;
+                 o_seed = 1;
+                 o_mean_gap = 25.0;
+               })))
   in
   Thread.join sleeper;
   Alcotest.(check string) "deadline code" "deadline" (error_code reply)
@@ -714,7 +852,11 @@ let () =
             test_inquiry_bit_identity;
           Alcotest.test_case "transient bit-identity" `Slow
             test_transient_bit_identity;
+          Alcotest.test_case "online bit-identity" `Slow
+            test_online_bit_identity;
           Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "online deadline expiry" `Quick
+            test_online_deadline_expiry;
           Alcotest.test_case "overload rejection" `Quick test_overload_rejection;
           Alcotest.test_case "shutdown drains admitted work" `Quick
             test_shutdown_drains;
