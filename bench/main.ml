@@ -53,17 +53,11 @@ let only_phases =
 
 (* Every name ever passed to [timed_phase]; --only arguments are checked
    against it up front, so a typo is a hard error instead of a silently
-   empty run. [timed_phase] cross-checks at runtime so the list cannot
-   drift from the actual phase calls. *)
-let known_phases =
-  [
-    "tables"; "figure1"; "ablation-weight-sweep"; "ablation-leakage";
-    "ablation-ga-effort"; "ablation-solvers"; "ablation-floorplanners";
-    "ablation-mappers"; "ablation-dvs"; "ablation-bus"; "ablation-stack";
-    "ablation-clustering"; "ablation-refinement"; "ablation-dtm";
-    "ablation-montecarlo"; "design-space"; "parallel-scaling"; "kernels";
-    "transient"; "online"; "serve"; "observability-overhead"; "timings";
-  ]
+   empty run. The list itself lives in [Core.Phases] — shared with the
+   dune-alias drift check in test_campaign — and [timed_phase]
+   cross-checks at runtime so it cannot drift from the actual phase
+   calls. *)
+let known_phases = Core.Phases.names
 
 let validate_only_phases () =
   match List.filter (fun p -> not (List.mem p known_phases)) only_phases with
@@ -1295,7 +1289,151 @@ let serve_throughput () =
   if total_errs > 0 || hit_rate <= 0.0 then exit 1
 
 (* ----------------------------------------------------------------------- *)
-(* 6. Observability overhead                                                *)
+(* 6. Campaign runner — sharded resumable sweeps at the 1000-cell scale    *)
+(* ----------------------------------------------------------------------- *)
+
+(* Three measurements on the campaign runner:
+   - cells/sec on the pinned golden spec at pool jobs 1/2/4, with the
+     manifests of all three runs byte-compared (the runner's determinism
+     contract in bench form);
+   - the sweep1k builtin (1080 cells) run uninterrupted, then a second
+     directory taken through interrupt simulation — one shard of three,
+     one artifact truncated mid-"write" — and resumed, with the final
+     manifests byte-compared;
+   - a no-op resume over the complete 1080-cell store, gated at < 25% of
+     the full compute wall (validate-and-skip must stay cheap or resuming
+     a mostly-done campaign would not be worth it). *)
+let campaign_bench () =
+  hr "Campaign runner — resumable sweeps, content-addressed artifacts";
+  let module C = Core.Campaign in
+  let scratch name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tats-campaign-bench-%d-%s" (Unix.getpid ()) name)
+  in
+  let manifest_bytes dir =
+    Option.value ~default:"" (Core.Fsio.read_file (C.manifest_path dir))
+  in
+  (* jobs scaling on the 12-cell golden spec *)
+  let small = Option.get (C.builtin "golden") in
+  let small_rows =
+    List.map
+      (fun jobs ->
+        let dir = scratch (Printf.sprintf "jobs%d" jobs) in
+        Core.Fsio.remove_recursive dir;
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Pool.with_pool ~jobs (fun pool -> C.run ~pool ~dir small) in
+        let wall = Unix.gettimeofday () -. t0 in
+        (jobs, dir, r, wall, float_of_int r.C.total /. Float.max wall 1e-9))
+      [ 1; 2; 4 ]
+  in
+  let jobs_identical =
+    match small_rows with
+    | (_, d0, _, _, _) :: rest ->
+        let m0 = manifest_bytes d0 in
+        (not (String.equal m0 ""))
+        && List.for_all
+             (fun (_, d, _, _, _) -> String.equal m0 (manifest_bytes d))
+             rest
+    | [] -> false
+  in
+  Printf.printf "%-22s %6s %9s %12s\n" "spec" "jobs" "wall s" "cells/sec";
+  List.iter
+    (fun (jobs, _, (r : C.run_report), wall, cps) ->
+      Printf.printf "%-22s %6d %9.3f %12.1f\n"
+        (Printf.sprintf "golden (%d cells)" r.C.total)
+        jobs wall cps)
+    small_rows;
+  Printf.printf "manifests byte-identical across jobs 1/2/4: %s\n"
+    (if jobs_identical then "PASS" else "FAIL");
+  (* the >= 1000-cell scale run, interrupt simulation and resume *)
+  let sweep = Option.get (C.builtin "sweep1k") in
+  let dir_full = scratch "full" and dir_int = scratch "interrupted" in
+  Core.Fsio.remove_recursive dir_full;
+  Core.Fsio.remove_recursive dir_int;
+  let t0 = Unix.gettimeofday () in
+  let r_full =
+    Core.Pool.with_pool ~jobs:4 (fun pool -> C.run ~pool ~dir:dir_full sweep)
+  in
+  let full_wall = Unix.gettimeofday () -. t0 in
+  let full_cps = float_of_int r_full.C.total /. Float.max full_wall 1e-9 in
+  Printf.printf "%-22s %6d %9.3f %12.1f\n"
+    (Printf.sprintf "sweep1k (%d cells)" r_full.C.total)
+    4 full_wall full_cps;
+  ignore
+    (Core.Pool.with_pool ~jobs:4 (fun pool ->
+         C.run ~pool ~shards:3 ~shard:0 ~dir:dir_int sweep)
+      : C.run_report);
+  (* simulate a kill mid-write: truncate the first shard-0 artifact *)
+  (let first_id = C.cell_id (List.hd (C.expand sweep)) in
+   let path = C.artifact_path dir_int first_id in
+   match Core.Fsio.read_file path with
+   | Some bytes ->
+       Core.Fsio.write_atomic path (String.sub bytes 0 (String.length bytes / 2))
+   | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let r_resume =
+    Core.Pool.with_pool ~jobs:4 (fun pool -> C.run ~pool ~dir:dir_int sweep)
+  in
+  let resume_wall = Unix.gettimeofday () -. t0 in
+  let resume_identical =
+    (not (String.equal (manifest_bytes dir_full) ""))
+    && String.equal (manifest_bytes dir_full) (manifest_bytes dir_int)
+  in
+  Printf.printf
+    "interrupted at shard 0/3 (+1 truncated artifact), resume computed \
+     %d/%d (%d invalid re-run) in %.3f s: manifest %s\n"
+    r_resume.C.computed r_resume.C.total r_resume.C.invalid resume_wall
+    (if resume_identical then "PASS (byte-identical)" else "FAIL");
+  (* no-op resume overhead over the complete store *)
+  let t0 = Unix.gettimeofday () in
+  let r_noop = C.run ~dir:dir_full sweep in
+  let noop_wall = Unix.gettimeofday () -. t0 in
+  let overhead = noop_wall /. Float.max full_wall 1e-9 in
+  let overhead_gate = r_noop.C.computed = 0 && overhead < 0.25 in
+  Printf.printf
+    "no-op resume (all %d cells reused): %.3f s = %.1f%% of full compute \
+     (target < 25%%): %s\n"
+    r_noop.C.reused noop_wall (100.0 *. overhead)
+    (if overhead_gate then "PASS" else "FAIL");
+  let oc = open_out "BENCH_campaign.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"jobs_scaling\": {\"cells\": %d, \"jobs\": [1, 2, 4],\n"
+        (match small_rows with (_, _, r, _, _) :: _ -> r.C.total | [] -> 0);
+      Printf.fprintf oc "    \"wall_s\": [%s],\n"
+        (String.concat ", "
+           (List.map (fun (_, _, _, w, _) -> Printf.sprintf "%.6f" w) small_rows));
+      Printf.fprintf oc "    \"cells_per_sec\": [%s],\n"
+        (String.concat ", "
+           (List.map (fun (_, _, _, _, c) -> Printf.sprintf "%.1f" c) small_rows));
+      Printf.fprintf oc "    \"manifest_identical\": %S},\n"
+        (if jobs_identical then "PASS" else "FAIL");
+      Printf.fprintf oc
+        "  \"scale\": {\"cells\": %d, \"jobs\": 4, \"wall_s\": %.6f, \
+         \"cells_per_sec\": %.1f,\n"
+        r_full.C.total full_wall full_cps;
+      Printf.fprintf oc
+        "    \"interrupted_shard\": \"0/3\", \"resume_computed\": %d, \
+         \"resume_invalid\": %d, \"resume_wall_s\": %.6f,\n"
+        r_resume.C.computed r_resume.C.invalid resume_wall;
+      Printf.fprintf oc "    \"resume_manifest_identical\": %S},\n"
+        (if resume_identical then "PASS" else "FAIL");
+      Printf.fprintf oc
+        "  \"resume_overhead\": {\"noop_wall_s\": %.6f, \"fraction_of_full\": \
+         %.4f, \"target\": 0.25, \"check\": %S}\n}\n"
+        noop_wall overhead
+        (if overhead_gate then "PASS" else "FAIL"));
+  Printf.printf "wrote BENCH_campaign.json\n";
+  announce_json "BENCH_campaign.json";
+  List.iter (fun (_, d, _, _, _) -> Core.Fsio.remove_recursive d) small_rows;
+  Core.Fsio.remove_recursive dir_full;
+  Core.Fsio.remove_recursive dir_int;
+  if not (jobs_identical && resume_identical && overhead_gate) then exit 1
+
+(* ----------------------------------------------------------------------- *)
+(* 7. Observability overhead                                                *)
 (* ----------------------------------------------------------------------- *)
 
 (* The tracing layer promises that a disabled [with_span] costs one atomic
@@ -1578,6 +1716,7 @@ let () =
   timed_phase "transient" transient_speedup;
   timed_phase "online" online_bench;
   timed_phase "serve" serve_throughput;
+  timed_phase "campaign" campaign_bench;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)
   (match trace_path with

@@ -713,6 +713,171 @@ let online_cmd =
           $ mean_gap_arg $ n_pes_arg $ trigger_arg $ jobs_arg $ trace_arg
           $ metrics_arg)
 
+(* --- campaign ------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let run mode spec_name spec_file dir shard jobs baseline tol_makespan
+      tol_power tol_max_temp tol_avg_temp trace metrics =
+    set_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
+    let spec =
+      match spec_file with
+      | Some path -> (
+          match Core.Fsio.read_file path with
+          | None -> or_die (Error (Printf.sprintf "cannot read spec file %s" path))
+          | Some text ->
+              or_die
+                (Result.map_error
+                   (fun e -> Printf.sprintf "spec file %s: %s" path e)
+                   (Core.Campaign.spec_of_string text)))
+      | None -> (
+          match Core.Campaign.builtin spec_name with
+          | Some s -> s
+          | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "unknown builtin spec %S (want one of %s)"
+                      spec_name
+                      (String.concat ", " Core.Campaign.builtin_names))))
+    in
+    let dir =
+      match dir with Some d -> d | None -> "campaign-" ^ spec.Core.Campaign.name
+    in
+    match mode with
+    | "run" | "resume" ->
+        (* resume IS run: valid artifacts are skipped, the rest computed. *)
+        let shard, shards =
+          match shard with
+          | None -> (0, 1)
+          | Some s -> (
+              match String.split_on_char '/' s with
+              | [ k; n ] -> (
+                  match (int_of_string_opt k, int_of_string_opt n) with
+                  | Some k, Some n when n >= 1 && k >= 0 && k < n -> (k, n)
+                  | _ -> or_die (Error "--shard wants K/N with 0 <= K < N"))
+              | _ -> or_die (Error "--shard wants K/N with 0 <= K < N"))
+        in
+        let r =
+          Core.Campaign.run ~pool:(Core.Pool.default ()) ~shards ~shard ~dir
+            spec
+        in
+        Format.printf
+          "campaign %s: %d cells, shard %d/%d -> %d (%d computed, %d reused, \
+           %d invalid re-run)@."
+          spec.Core.Campaign.name r.Core.Campaign.total shard shards
+          r.Core.Campaign.shard_cells r.Core.Campaign.computed
+          r.Core.Campaign.reused r.Core.Campaign.invalid;
+        if r.Core.Campaign.manifest_written then
+          Format.printf "manifest: %s@." (Core.Campaign.manifest_path dir)
+        else
+          Format.printf
+            "campaign incomplete — no manifest yet (other shards pending?)@."
+    | "report" ->
+        let m = or_die (Core.Campaign.load_manifest ~dir) in
+        print_string (Core.Report.campaign_summary (Core.Campaign.summarize m))
+    | "gate" ->
+        let baseline_path =
+          match baseline with
+          | Some p -> p
+          | None -> or_die (Error "gate needs --baseline MANIFEST")
+        in
+        let baseline =
+          match Core.Fsio.read_file baseline_path with
+          | None ->
+              or_die
+                (Error (Printf.sprintf "cannot read baseline %s" baseline_path))
+          | Some text ->
+              or_die
+                (Result.map_error
+                   (fun e -> Printf.sprintf "baseline %s: %s" baseline_path e)
+                   (Core.Campaign.manifest_of_string text))
+        in
+        let candidate = or_die (Core.Campaign.load_manifest ~dir) in
+        let tol =
+          {
+            Core.Campaign.tol_makespan;
+            tol_power;
+            tol_max_temp;
+            tol_avg_temp;
+          }
+        in
+        let g = Core.Campaign.gate ~tol ~baseline ~candidate in
+        print_string (Core.Report.campaign_gate g);
+        if not (Core.Campaign.gate_passes g) then exit 2
+    | other ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown mode %S (want run, resume, report or gate)"
+                other))
+  in
+  let mode_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODE"
+          ~doc:
+            "$(b,run) executes the campaign's missing cells; $(b,resume) is \
+             the same operation, named for intent; $(b,report) renders the \
+             manifest; $(b,gate) diffs the manifest against a baseline and \
+             exits 2 on regression.")
+  in
+  let spec_arg =
+    Arg.(
+      value & opt string "golden"
+      & info [ "s"; "spec" ] ~docv:"NAME"
+          ~doc:
+            "Builtin campaign spec: table1, table2, table3 (the paper's \
+             tables as campaigns), golden (the pinned demo) or sweep1k \
+             (1080 generated cells).")
+  in
+  let spec_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spec-file" ] ~docv:"FILE"
+          ~doc:
+            "Read the campaign spec from a JSON file instead of --spec (see \
+             README for the format).")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact directory (cells/<id>.json plus manifest.json); \
+             defaults to campaign-<spec name>.")
+  in
+  let shard_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shard" ] ~docv:"K/N"
+          ~doc:
+            "Run only cells with expansion index = K mod N; N cooperating \
+             shards sharing DIR cover the campaign, and the last one to \
+             finish writes the manifest.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"MANIFEST"
+          ~doc:"Baseline manifest.json to gate against.")
+  in
+  let tol name doc =
+    Arg.(value & opt float 0.0 & info [ name ] ~docv:"D" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Sharded, resumable (graph x policy x platform) sweep campaigns \
+          with content-addressed JSON artifacts and regression gating.")
+    Term.(
+      const run $ mode_arg $ spec_arg $ spec_file_arg $ dir_arg $ shard_arg
+      $ jobs_arg $ baseline_arg
+      $ tol "tol-makespan" "Allowed makespan increase before gate failure."
+      $ tol "tol-power" "Allowed total-power increase (W) before gate failure."
+      $ tol "tol-max-temp" "Allowed peak-temperature increase (°C) before gate failure."
+      $ tol "tol-avg-temp" "Allowed average-temperature increase (°C) before gate failure."
+      $ trace_arg $ metrics_arg)
+
 (* --- robustness ----------------------------------------------------------- *)
 
 let robustness_cmd =
@@ -970,5 +1135,5 @@ let () =
             table1_cmd; table2_cmd; table3_cmd; checks_cmd; schedule_cmd;
             thermal_cmd; floorplan_cmd; export_cmd; compare_cmd; dvs_cmd;
             pareto_cmd; analyze_cmd; dtm_cmd'; transient_cmd; online_cmd;
-            robustness_cmd; artifacts_cmd; client_cmd;
+            campaign_cmd; robustness_cmd; artifacts_cmd; client_cmd;
           ]))

@@ -1,4 +1,5 @@
 module Rng = Tats_util.Rng
+module Fsio = Tats_util.Fsio
 module Stats = Tats_util.Stats
 module Pool = Tats_util.Pool
 module Trace = Tats_util.Trace
@@ -55,6 +56,8 @@ module Alloc = Tats_cosynth.Alloc
 module Flow = Tats_cosynth.Flow
 module Pareto = Tats_cosynth.Pareto
 module Serve = Tats_serve
+module Campaign = Tats_campaign.Campaign
+module Phases = Phases
 module Experiments = Experiments
 module Paper_data = Paper_data
 module Report = Report

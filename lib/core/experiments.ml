@@ -381,3 +381,8 @@ let online_demo ?(bench = 0) ?(seed = 1) () =
       (online_scenarios seed)
   in
   { o_bench = Tats_taskgraph.Graph.name graph; o_seed = seed; o_rows = rows }
+
+let campaign_demo () =
+  match Tats_campaign.Campaign.builtin "golden" with
+  | Some spec -> Tats_campaign.Campaign.collect spec
+  | None -> invalid_arg "campaign_demo: builtin golden spec missing"

@@ -128,3 +128,12 @@ val online_demo : ?bench:int -> ?seed:int -> unit -> online_demo
     and the trace-driven stream. Every scenario goes through
     {!Tats_cosynth.Flow.run_online}. The golden test byte-compares
     {!Report.online_demo} of this value. *)
+
+val campaign_demo : unit -> Tats_campaign.Campaign.summary
+(** The builtin ["golden"] campaign (one paper benchmark plus one
+    generated DAG, three policies, two ambient/budget platform points)
+    run sequentially in memory via {!Tats_campaign.Campaign.collect} —
+    bit-identical to running the same spec through
+    {!Tats_campaign.Campaign.run} and summarizing its manifest. The
+    golden test byte-compares {!Report.campaign_summary} of this
+    value. *)

@@ -265,3 +265,86 @@ let online_demo (d : Experiments.online_demo) =
            r.Experiments.o_peak_ratio))
     d.Experiments.o_rows;
   Buffer.contents buf
+
+let campaign_summary (s : Tats_campaign.Campaign.summary) =
+  let module C = Tats_campaign.Campaign in
+  let buf = Buffer.create 2048 in
+  let cells = s.C.cells in
+  let n = List.length cells in
+  let distinct label =
+    List.length (List.sort_uniq compare (List.map label cells))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "Campaign %s — %d cells (%d graphs x %d policies x %d platforms)\n"
+       s.C.campaign_name n
+       (distinct (fun ((c : C.cell), _) -> C.graph_label c.C.graph))
+       (distinct (fun ((c : C.cell), _) -> Tats_sched.Policy.name c.C.policy))
+       (distinct (fun ((c : C.cell), _) -> C.platform_label c.C.platform)));
+  Buffer.add_string buf
+    "graph      policy    arch      ambient   budget    makespan   tot pow W  \
+     max T °C  avg T °C  deadline\n";
+  let met = ref 0 and within = ref 0 in
+  let peak = ref neg_infinity and peak_cell = ref "" in
+  List.iter
+    (fun ((c : C.cell), (r : C.result)) ->
+      if r.C.deadline_met then incr met;
+      if r.C.within_budget then incr within;
+      if r.C.max_temp > !peak then begin
+        peak := r.C.max_temp;
+        peak_cell := C.cell_label c
+      end;
+      let arch =
+        match c.C.platform.C.arch with
+        | C.Platform n_pes -> Printf.sprintf "p%d" n_pes
+        | C.Cosynth -> "cosynth"
+      in
+      let budget =
+        match c.C.platform.C.power_budget with
+        | None -> "-"
+        | Some b -> Printf.sprintf "%g" b
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-10s %-9s %-8s %8.1f %8s %11.4f %11.4f %9.4f %9.4f %9.1f %s %s\n"
+           (C.graph_label c.C.graph)
+           (Tats_sched.Policy.name c.C.policy)
+           arch c.C.platform.C.ambient budget r.C.makespan r.C.total_power
+           r.C.max_temp r.C.avg_temp r.C.deadline
+           (if r.C.deadline_met then "met" else "MISS")
+           (if r.C.within_budget then "ok" else "OVER")))
+    cells;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "deadline met %d/%d, within budget %d/%d; peak %.4f °C (%s)\n" !met n
+       !within n !peak !peak_cell);
+  Buffer.contents buf
+
+let campaign_gate (g : Tats_campaign.Campaign.gate_report) =
+  let module C = Tats_campaign.Campaign in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "campaign gate: compared %d cells — %d clean, %d drifted, %d regressed, \
+        %d missing, %d extra\n"
+       g.C.compared g.C.clean
+       (List.length g.C.drifted)
+       (List.length g.C.regressed)
+       (List.length g.C.missing)
+       (List.length g.C.extra));
+  let finding tag (f : C.finding) =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-6s %s %s %.4f -> %.4f (%+.4f, tol %.4f)\n" tag
+         f.C.g_cell f.C.g_metric f.C.g_base f.C.g_cand (f.C.g_cand -. f.C.g_base)
+         f.C.g_tol)
+  in
+  List.iter (finding "drift") g.C.drifted;
+  List.iter (finding "REGR") g.C.regressed;
+  List.iter
+    (fun label -> Buffer.add_string buf (Printf.sprintf "  MISSING %s\n" label))
+    g.C.missing;
+  List.iter
+    (fun label -> Buffer.add_string buf (Printf.sprintf "  extra   %s\n" label))
+    g.C.extra;
+  Buffer.add_string buf
+    (if C.gate_passes g then "verdict: PASS\n" else "verdict: FAIL\n");
+  Buffer.contents buf

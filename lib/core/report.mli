@@ -33,3 +33,12 @@ val transient_demo : Experiments.transient_demo -> string
 val online_demo : Experiments.online_demo -> string
 (** Fixed-format rendering of {!Experiments.online_demo} — the online
     golden (test/goldens/online.golden) byte-compares this string. *)
+
+val campaign_summary : Tats_campaign.Campaign.summary -> string
+(** Fixed-format rendering of a campaign's cells in expansion order —
+    what [tats campaign report] prints and what the campaign golden
+    (test/goldens/campaign.golden) byte-compares. *)
+
+val campaign_gate : Tats_campaign.Campaign.gate_report -> string
+(** Human-readable gate verdict: per-finding drift/regression lines and
+    a final PASS/FAIL ([tats campaign gate] exits 2 on FAIL). *)

@@ -13,7 +13,7 @@ let descriptors =
     { bench_name = "Bm4"; tasks = 51; edges = 60; deadline = 2000.0 };
   |]
 
-let n_task_types = 10
+let n_task_types = Generator.library_task_types
 
 (* Fixed seeds: the suite must be identical across runs and machines. *)
 let seeds = [| 1101; 2203; 3307; 4409 |]

@@ -22,6 +22,20 @@ let default_spec =
 let feasible_edges ~n_tasks =
   (Stdlib.max 0 (n_tasks - 1), n_tasks * (n_tasks - 1) / 2)
 
+let library_task_types = 10
+
+let scaled_spec ~n_tasks =
+  if n_tasks < 1 then invalid_arg "Generator.scaled_spec: need at least one task";
+  let lo, hi = feasible_edges ~n_tasks in
+  let n_edges = Stdlib.min hi (Stdlib.max lo (2 * n_tasks)) in
+  {
+    default_spec with
+    n_tasks;
+    n_edges;
+    deadline = 50.0 *. float_of_int n_tasks;
+    n_task_types = library_task_types;
+  }
+
 (* Assign each task to a layer. The layer count scales with sqrt of the task
    count, which gives graphs with both parallelism and depth, like TGFF's
    series chains with fan-out. *)

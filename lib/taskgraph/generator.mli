@@ -21,6 +21,22 @@ val feasible_edges : n_tasks:int -> int * int
     connectivity needs at least [n_tasks - 1]; a DAG admits at most
     [n_tasks * (n_tasks - 1) / 2]. *)
 
+val library_task_types : int
+(** The task-type count shared by the paper's benchmark suite and the
+    stock PE libraries ({!Benchmarks.n_task_types} re-exports it — the
+    constant lives here because [Benchmarks] already depends on this
+    module). *)
+
+val scaled_spec : n_tasks:int -> spec
+(** A feasible spec for large generated DAGs — the campaign runner's
+    thousands-of-node axis. Edge count is [2 x n_tasks] clamped to
+    {!feasible_edges} (TGFF-ish sparsity: average degree ~4 regardless of
+    scale), the deadline grows linearly at 50 time units per task (the
+    Bm1–Bm4 deadline-per-task band), and the task-type count is
+    {!library_task_types} so every generated graph schedules against the
+    stock platform/heterogeneous libraries. Raises [Invalid_argument]
+    for [n_tasks < 1]. *)
+
 val generate : seed:int -> name:string -> spec -> Graph.t
 (** Layered construction: tasks are spread over layers, every non-first-layer
     task gets one incoming edge from an earlier layer (yielding a connected

@@ -1,0 +1,51 @@
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try Some (really_input_string ic (in_channel_length ic))
+          with Sys_error _ | End_of_file -> None)
+
+(* A per-process counter keeps temporary names unique across pool domains
+   writing into the same directory. *)
+let tmp_seq = Atomic.make 0
+
+let write_atomic path content =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ as e -> (
+      (* Lost a creation race, or a genuine failure: keep quiet only when
+         the directory is there now. *)
+      match Sys.is_directory dir with
+      | true -> ()
+      | false | (exception Sys_error _) -> raise e)
+  end
+
+let rec remove_recursive path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter
+        (fun entry -> remove_recursive (Filename.concat path entry))
+        (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())

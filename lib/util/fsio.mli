@@ -1,0 +1,28 @@
+(** Small filesystem helpers shared by the artifact-writing layers
+    (campaign runner, bench JSON emitters).
+
+    The one interesting guarantee is {!write_atomic}: readers never see a
+    half-written file. Everything else is a total wrapper around [Sys]
+    that turns the usual exception noise into options and no-ops, which
+    is what a resumable runner wants — a missing or unreadable artifact
+    is "recompute it", not a crash. *)
+
+val read_file : string -> string option
+(** The whole file as bytes; [None] when it does not exist or cannot be
+    read. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] writes [content] to a unique temporary
+    file in [path]'s directory and renames it over [path]. On POSIX the
+    rename is atomic, so concurrent readers (and a campaign killed
+    mid-write) observe either the old file or the complete new one,
+    never a prefix. Concurrent writers of the same content are benign:
+    last rename wins, bytes identical. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents; existing directories are
+    fine (racing creators too). *)
+
+val remove_recursive : string -> unit
+(** Best-effort recursive delete; missing paths are a no-op. Used by
+    tests and the bench harness to clean scratch campaign directories. *)

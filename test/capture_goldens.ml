@@ -20,6 +20,13 @@
 
      dune exec test/capture_goldens.exe -- online > test/goldens/online.golden
 
+   With the argument [campaign], prints the rendered summary of the
+   "golden" builtin campaign (captured when the campaign runner landed;
+   the cells run the same flow as Tables 1-3, so the same bit-stability
+   argument applies):
+
+     dune exec test/capture_goldens.exe -- campaign > test/goldens/campaign.golden
+
    Only regenerate a golden when a change is *meant* to move the
    numbers (new benchmarks, model changes) — never to paper over a
    kernel regression. *)
@@ -44,11 +51,15 @@ let capture_transient () =
 let capture_online () =
   print_string (Core.Report.online_demo (Core.Experiments.online_demo ()))
 
+let capture_campaign () =
+  print_string (Core.Report.campaign_summary (Core.Experiments.campaign_demo ()))
+
 let () =
   match Sys.argv with
   | [| _ |] -> capture_tables ()
   | [| _; "transient" |] -> capture_transient ()
   | [| _; "online" |] -> capture_online ()
+  | [| _; "campaign" |] -> capture_campaign ()
   | _ ->
-      prerr_endline "usage: capture_goldens [transient|online]";
+      prerr_endline "usage: capture_goldens [transient|online|campaign]";
       exit 2

@@ -216,6 +216,17 @@ let test_online_matches_golden () =
     ~basename:"online.golden"
     (Core.Report.online_demo (Core.Experiments.online_demo ()))
 
+let test_campaign_matches_golden () =
+  (* And for the campaign layer: the "golden" builtin campaign (mixed
+     benchmark/generated graphs, both architectures' platform points,
+     ambient and budget variation) rendered cell by cell, byte for byte.
+     The same cells are what `tats campaign run` persists, so this golden
+     pins the report formatting and the underlying flow numbers at once.
+     Regenerate (only for intentional number changes) with:
+       dune exec test/capture_goldens.exe -- campaign > test/goldens/campaign.golden *)
+  check_against_golden ~what:"campaign summary" ~basename:"campaign.golden"
+    (Core.Report.campaign_summary (Core.Experiments.campaign_demo ()))
+
 let test_csv_exports_match_tables () =
   let csv = Core.Report.table1_csv (Lazy.force table1) in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -238,6 +249,8 @@ let () =
             test_transient_matches_golden;
           Alcotest.test_case "online matches golden" `Quick
             test_online_matches_golden;
+          Alcotest.test_case "campaign matches golden" `Quick
+            test_campaign_matches_golden;
           Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
         ] );
       ( "figure1",
