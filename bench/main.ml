@@ -1182,7 +1182,15 @@ let serve_throughput () =
     in
     Protocol.request
       (Protocol.Schedule
-         { Protocol.bench = 0; policy; arch = Protocol.Platform; n_pes = 4 })
+         {
+           Protocol.bench = 0;
+           policy;
+           arch = Protocol.Platform;
+           n_pes = 4;
+           platform = None;
+           pins = [];
+           isolation = [];
+         })
   in
   (* A small pool of repeated power vectors: every vector recurs across
      clients, so the quantized-power cache sees cross-request repeats. *)
@@ -1431,6 +1439,92 @@ let campaign_bench () =
   Core.Fsio.remove_recursive dir_full;
   Core.Fsio.remove_recursive dir_int;
   if not (jobs_identical && resume_identical && overhead_gate) then exit 1
+
+(* ----------------------------------------------------------------------- *)
+(* 6b. Heterogeneous platforms                                              *)
+(* ----------------------------------------------------------------------- *)
+
+(* Throughput of the typed-platform flow on the mixed big.LITTLE builtin
+   (free and under pins + isolation), plus the gate the whole extension
+   hangs on: the degenerate single-kind platform must reproduce the
+   historical identical-cores flow bit for bit under every policy. *)
+let hetero_bench () =
+  hr "Heterogeneous platforms — typed-flow throughput and degeneracy gate";
+  let graph = Core.Benchmarks.load 0 in
+  let platform = Option.get (Core.Catalog.platform_named "biglittle4") in
+  let lib = Core.Catalog.library_for platform in
+  let throughput name constraints =
+    let flow () =
+      ignore
+        (Core.Flow.run_platform ~platform ~constraints ~graph ~lib
+           ~policy:Core.Policy.Thermal_aware ()
+          : Core.Flow.outcome)
+    in
+    flow () (* warm the factorization caches once *);
+    let reps = 10 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      flow ()
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let sps = float_of_int reps /. Float.max wall 1e-9 in
+    Printf.printf "%-28s %6d reps %9.3f s %12.1f schedules/sec\n" name reps
+      wall sps;
+    sps
+  in
+  let free_sps = throughput "biglittle4 free" Core.Constraints.empty in
+  let pinned_sps =
+    throughput "biglittle4 pinned+isolated"
+      {
+        Core.Constraints.pins = [ (0, Core.Constraints.To_kind 1) ];
+        isolation = [ (1, 0); (2, 1) ];
+      }
+  in
+  (* Degeneracy gate: typed std4 vs the historical path, all five
+     policies, bit-compared on makespan/power/temperatures/cost. *)
+  let std4 = Option.get (Core.Catalog.platform_named "std4") in
+  let bits = Int64.bits_of_float in
+  let degenerate_identical =
+    List.for_all
+      (fun policy ->
+        let classic =
+          Core.Flow.run_platform ~graph
+            ~lib:(Core.Catalog.platform_library ())
+            ~policy ()
+        in
+        let typed =
+          Core.Flow.run_platform ~platform:std4 ~graph
+            ~lib:(Core.Catalog.library_for std4) ~policy ()
+        in
+        bits classic.Core.Flow.schedule.Core.Schedule.makespan
+        = bits typed.Core.Flow.schedule.Core.Schedule.makespan
+        && bits classic.Core.Flow.row.Core.Metrics.total_power
+           = bits typed.Core.Flow.row.Core.Metrics.total_power
+        && bits classic.Core.Flow.row.Core.Metrics.max_temp
+           = bits typed.Core.Flow.row.Core.Metrics.max_temp
+        && bits classic.Core.Flow.row.Core.Metrics.avg_temp
+           = bits typed.Core.Flow.row.Core.Metrics.avg_temp
+        && bits classic.Core.Flow.arch_cost = bits typed.Core.Flow.arch_cost)
+      Core.Policy.all
+  in
+  Printf.printf "degenerate std4 == identical-cores path (all policies): %s\n"
+    (if degenerate_identical then "PASS (bit-identical)" else "FAIL");
+  let oc = open_out "BENCH_hetero.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"platform\": \"biglittle4\", \"policy\": \"thermal\",\n\
+        \  \"free_schedules_per_sec\": %.1f,\n\
+        \  \"constrained_schedules_per_sec\": %.1f,\n\
+        \  \"degenerate_bit_identity\": %S\n\
+         }\n"
+        free_sps pinned_sps
+        (if degenerate_identical then "PASS" else "FAIL"));
+  Printf.printf "wrote BENCH_hetero.json\n";
+  announce_json "BENCH_hetero.json";
+  if not degenerate_identical then exit 1
 
 (* ----------------------------------------------------------------------- *)
 (* 7. Observability overhead                                                *)
@@ -1717,6 +1811,7 @@ let () =
   timed_phase "online" online_bench;
   timed_phase "serve" serve_throughput;
   timed_phase "campaign" campaign_bench;
+  timed_phase "hetero" hetero_bench;
   (* The overhead probe resets the trace, so a --trace run exports what
      was recorded up to here. *)
   (match trace_path with

@@ -94,6 +94,67 @@ let or_die = function
       prerr_endline ("tats: " ^ msg);
       exit 2
 
+(* --- heterogeneous-platform arguments ------------------------------------ *)
+
+let parse_platform name =
+  match Core.Catalog.platform_named name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown platform %S (want one of %s)" name
+           (String.concat ", " (Core.Catalog.platform_names ())))
+
+(* "T:V" pairs for --pin/--pin-kind/--isolate. *)
+let parse_pair ~flag ~rhs s =
+  match String.split_on_char ':' s with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Ok (a, b)
+      | _ -> Error (Printf.sprintf "--%s wants TASK:%s (two integers)" flag rhs))
+  | _ -> Error (Printf.sprintf "--%s wants TASK:%s" flag rhs)
+
+let parse_constraints ~pins ~pin_kinds ~isolate =
+  let pair flag rhs s = or_die (parse_pair ~flag ~rhs s) in
+  {
+    Core.Constraints.pins =
+      List.map
+        (fun s ->
+          let t, p = pair "pin" "PE" s in
+          (t, Core.Constraints.To_pe p))
+        pins
+      @ List.map
+          (fun s ->
+            let t, k = pair "pin-kind" "KIND" s in
+            (t, Core.Constraints.To_kind k))
+          pin_kinds;
+    isolation = List.map (pair "isolate" "CLASS") isolate;
+  }
+
+let platform_arg =
+  let doc =
+    "Typed (possibly heterogeneous) builtin platform: std4, biglittle4 or \
+     mixed6. Overrides the default 4-identical-PE platform; the library \
+     gains one WCET/WCPC column per core kind. Platform architecture only."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "platform" ] ~docv:"NAME" ~doc)
+
+let pin_arg =
+  Arg.(value & opt_all string []
+       & info [ "pin" ] ~docv:"TASK:PE"
+           ~doc:"Pin a task to one PE slot (repeatable).")
+
+let pin_kind_arg =
+  Arg.(value & opt_all string []
+       & info [ "pin-kind" ] ~docv:"TASK:KIND"
+           ~doc:"Restrict a task to PEs of one core kind (repeatable).")
+
+let isolate_arg =
+  Arg.(value & opt_all string []
+       & info [ "isolate" ] ~docv:"TASK:CLASS"
+           ~doc:"Assign a task to a criticality class; distinct classes \
+                 never share a PE (repeatable).")
+
 (* --- table commands ----------------------------------------------------- *)
 
 let table1_cmd =
@@ -155,20 +216,41 @@ let checks_cmd =
 (* --- schedule ----------------------------------------------------------- *)
 
 let schedule_cmd =
-  let run bench policy arch gantt stats svg floorplan_svg jobs trace metrics =
+  let run bench policy arch platform pins pin_kinds isolate gantt stats svg
+      floorplan_svg jobs trace metrics =
     set_jobs jobs;
     with_observability ~trace ~metrics @@ fun () ->
     let bench = or_die (parse_bench bench) in
     let policy = or_die (parse_policy policy) in
     let graph = Core.Benchmarks.load bench in
+    let constraints = parse_constraints ~pins ~pin_kinds ~isolate in
     let outcome =
-      match arch with
-      | "platform" ->
-          Core.Flow.run_platform ~graph ~lib:(Core.Catalog.platform_library ()) ~policy ()
-      | "cosynth" ->
-          Core.Flow.run_cosynthesis ~graph ~lib:(Core.Catalog.default_library ())
-            ~policy ()
-      | other -> or_die (Error (Printf.sprintf "unknown architecture %S" other))
+      try
+        match arch with
+        | "platform" -> (
+            match platform with
+            | None ->
+                Core.Flow.run_platform ~constraints ~graph
+                  ~lib:(Core.Catalog.platform_library ()) ~policy ()
+            | Some name ->
+                let p = or_die (parse_platform name) in
+                Core.Flow.run_platform ~platform:p ~constraints ~graph
+                  ~lib:(Core.Catalog.library_for p) ~policy ())
+        | "cosynth" ->
+            if
+              platform <> None || pins <> [] || pin_kinds <> [] || isolate <> []
+            then
+              or_die
+                (Error
+                   "--platform/--pin/--pin-kind/--isolate require --arch \
+                    platform");
+            Core.Flow.run_cosynthesis ~graph
+              ~lib:(Core.Catalog.default_library ()) ~policy ()
+        | other ->
+            or_die (Error (Printf.sprintf "unknown architecture %S" other))
+      with
+      | Core.Constraints.Invalid msg -> or_die (Error msg)
+      | Core.Constraints.Infeasible msg -> or_die (Error msg)
     in
     List.iter
       (fun (e : Core.Flow.log_entry) ->
@@ -222,7 +304,8 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run one benchmark/policy/architecture combination.")
-    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ gantt_arg $ stats_arg
+    Term.(const run $ bench_arg $ policy_arg $ arch_arg $ platform_arg
+          $ pin_arg $ pin_kind_arg $ isolate_arg $ gantt_arg $ stats_arg
           $ svg_arg $ fp_svg_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- thermal ------------------------------------------------------------ *)
@@ -612,7 +695,8 @@ let transient_cmd =
 (* --- online --------------------------------------------------------------- *)
 
 let online_cmd =
-  let run bench policy arrivals seed mean_gap n_pes trigger jobs trace metrics =
+  let run bench policy arrivals seed mean_gap n_pes platform pins pin_kinds
+      isolate trigger jobs trace metrics =
     set_jobs jobs;
     with_observability ~trace ~metrics @@ fun () ->
     let bench = or_die (parse_bench bench) in
@@ -646,19 +730,40 @@ let online_cmd =
     in
     if mean_gap <= 0.0 then or_die (Error "--mean-gap must be positive");
     let graph = Core.Benchmarks.load bench in
-    let lib = Core.Catalog.platform_library () in
+    let constraints = parse_constraints ~pins ~pin_kinds ~isolate in
+    let platform =
+      match platform with
+      | None -> None
+      | Some name -> Some (or_die (parse_platform name))
+    in
+    let lib =
+      match platform with
+      | None -> Core.Catalog.platform_library ()
+      | Some p -> Core.Catalog.library_for p
+    in
     let o =
-      Core.Flow.run_online ~n_pes ~mean_gap ~arrivals ~graph ~lib ~policy ()
+      try
+        Core.Flow.run_online ~n_pes ?platform ~constraints ~mean_gap ~arrivals
+          ~graph ~lib ~policy ()
+      with
+      | Core.Constraints.Invalid msg -> or_die (Error msg)
+      | Core.Constraints.Infeasible msg -> or_die (Error msg)
+    in
+    let n_pes =
+      match platform with None -> n_pes | Some p -> Core.Platform.n_pes p
     in
     let stats = o.Core.Flow.online.Core.Online.stats in
-    Format.printf "%s / %a / %s arrivals%s on %d PEs@." (Core.Graph.name graph)
-      Core.Online.pp_policy policy
+    Format.printf "%s / %a / %s arrivals%s on %d PEs%s@."
+      (Core.Graph.name graph) Core.Online.pp_policy policy
       (Core.Flow.arrival_source_name arrivals)
       (match arrivals with
       | Core.Flow.Release_sporadic s ->
           Printf.sprintf " (seed %d, mean gap %g)" s mean_gap
       | Core.Flow.Release_zero | Core.Flow.Release_trace -> "")
-      n_pes;
+      n_pes
+      (match platform with
+      | None -> ""
+      | Some p -> Printf.sprintf " (platform %s)" (Core.Platform.name p));
     Format.printf
       "event loop: %d events, %d decisions, %d candidates evaluated, %d \
        cooldown deferrals@."
@@ -710,8 +815,8 @@ let online_cmd =
              (empirical competitive ratios on makespan and peak \
              temperature).")
     Term.(const run $ bench_arg $ policy_arg $ arrivals_arg $ seed_arg
-          $ mean_gap_arg $ n_pes_arg $ trigger_arg $ jobs_arg $ trace_arg
-          $ metrics_arg)
+          $ mean_gap_arg $ n_pes_arg $ platform_arg $ pin_arg $ pin_kind_arg
+          $ isolate_arg $ trigger_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- campaign ------------------------------------------------------------- *)
 
@@ -827,8 +932,9 @@ let campaign_cmd =
       & info [ "s"; "spec" ] ~docv:"NAME"
           ~doc:
             "Builtin campaign spec: table1, table2, table3 (the paper's \
-             tables as campaigns), golden (the pinned demo) or sweep1k \
-             (1080 generated cells).")
+             tables as campaigns), golden (the pinned demo), hetero (the \
+             heterogeneous-platform gate fixture) or sweep1k (1080 \
+             generated cells).")
   in
   let spec_file_arg =
     Arg.(
@@ -978,8 +1084,8 @@ let client_cmd =
     with Failure _ ->
       Error (Printf.sprintf "--%s wants comma-separated numbers" field)
   in
-  let run socket kind json bench policy arch n_pes power idle periods dt
-      time_unit exact deadline_ms =
+  let run socket kind json bench policy arch n_pes platform pins pin_kinds
+      isolate power idle periods dt time_unit exact deadline_ms =
     let reply =
       match
         Serve.Client.with_client socket @@ fun c ->
@@ -998,7 +1104,16 @@ let client_cmd =
                   or_die
                     (Error (Printf.sprintf "unknown architecture %S" other))
             in
-            { bench; policy; arch; n_pes }
+            let spec = parse_constraints ~pins ~pin_kinds ~isolate in
+            {
+              bench;
+              policy;
+              arch;
+              n_pes;
+              platform;
+              pins = spec.Core.Constraints.pins;
+              isolation = spec.Core.Constraints.isolation;
+            }
           in
           let kind =
             match kind with
@@ -1101,7 +1216,8 @@ let client_cmd =
              Exits 1 when the server answers with an error reply.")
     Term.(
       const run $ socket_arg $ kind_arg $ json_arg $ bench_arg $ policy_arg
-      $ arch_arg $ n_pes_arg $ power_arg $ idle_arg $ periods_arg $ dt_arg
+      $ arch_arg $ n_pes_arg $ platform_arg $ pin_arg $ pin_kind_arg
+      $ isolate_arg $ power_arg $ idle_arg $ periods_arg $ dt_arg
       $ time_unit_arg $ exact_arg $ deadline_arg)
 
 (* --- export ------------------------------------------------------------- *)

@@ -6,8 +6,10 @@ module Graph = Tats_taskgraph.Graph
 module Generator = Tats_taskgraph.Generator
 module Benchmarks = Tats_taskgraph.Benchmarks
 module Catalog = Tats_techlib.Catalog
+module Platform = Tats_techlib.Platform
 module Package = Tats_thermal.Package
 module Policy = Tats_sched.Policy
+module Constraints = Tats_sched.Constraints
 module Schedule = Tats_sched.Schedule
 module Metrics = Tats_sched.Metrics
 module Flow = Tats_cosynth.Flow
@@ -17,12 +19,14 @@ type graph_spec =
   | Bench of int
   | Generated of { seed : int; n_tasks : int; n_edges : int; deadline : float }
 
-type arch_spec = Platform of int | Cosynth
+type arch_spec = Platform of int | Hetero of string | Cosynth
 
 type platform_spec = {
   arch : arch_spec;
   ambient : float;
   power_budget : float option;
+  pins : (int * Constraints.pin) list;
+  isolation : (int * int) list;
 }
 
 type spec = {
@@ -55,13 +59,20 @@ let graph_label = function
 
 let arch_label = function
   | Platform n -> Printf.sprintf "p%d" n
+  | Hetero name -> name
   | Cosynth -> "cosynth"
 
 let platform_label (p : platform_spec) =
   let base = Printf.sprintf "%s@%gC" (arch_label p.arch) p.ambient in
-  match p.power_budget with
-  | None -> base
-  | Some b -> Printf.sprintf "%s/b%g" base b
+  let base =
+    match p.power_budget with
+    | None -> base
+    | Some b -> Printf.sprintf "%s/b%g" base b
+  in
+  if p.pins = [] && p.isolation = [] then base
+  else
+    Printf.sprintf "%s/c%d.%d" base (List.length p.pins)
+      (List.length p.isolation)
 
 let cell_label (c : cell) =
   Printf.sprintf "%s/%s/%s" (graph_label c.graph) (Policy.name c.policy)
@@ -143,16 +154,49 @@ let graph_of_json j =
       let* deadline = num_field "deadline" j in
       Ok (Generated { seed; n_tasks; n_edges; deadline })
 
+(* The heterogeneity extensions (hetero arch, pins, isolation) are
+   encoded only when present, so pre-extension platform specs keep their
+   historical canonical bytes — and therefore their cell ids. *)
 let platform_to_json (p : platform_spec) =
   let arch =
     match p.arch with
     | Platform n -> [ ("arch", Json.Str "platform"); ("n_pes", int n) ]
+    | Hetero name -> [ ("arch", Json.Str "hetero"); ("platform", Json.Str name) ]
     | Cosynth -> [ ("arch", Json.Str "cosynth") ]
   in
   let budget =
     match p.power_budget with None -> [] | Some b -> [ ("power_budget", num b) ]
   in
-  Json.Obj (arch @ [ ("ambient", num p.ambient) ] @ budget)
+  let pins =
+    match p.pins with
+    | [] -> []
+    | pins ->
+        [
+          ( "pins",
+            Json.Arr
+              (List.map
+                 (fun (t, pin) ->
+                   match pin with
+                   | Constraints.To_pe pe ->
+                       Json.Obj [ ("task", int t); ("pe", int pe) ]
+                   | Constraints.To_kind k ->
+                       Json.Obj [ ("task", int t); ("kind", int k) ])
+                 pins) );
+        ]
+  in
+  let isolation =
+    match p.isolation with
+    | [] -> []
+    | iso ->
+        [
+          ( "isolation",
+            Json.Arr
+              (List.map
+                 (fun (t, c) -> Json.Obj [ ("task", int t); ("class", int c) ])
+                 iso) );
+        ]
+  in
+  Json.Obj (arch @ [ ("ambient", num p.ambient) ] @ budget @ pins @ isolation)
 
 let platform_of_json j =
   let* arch_name = str_field "arch" j in
@@ -161,6 +205,9 @@ let platform_of_json j =
     | "platform" ->
         let* n = int_field "n_pes" j in
         Ok (Platform n)
+    | "hetero" ->
+        let* name = str_field "platform" j in
+        Ok (Hetero name)
     | "cosynth" -> Ok Cosynth
     | s -> Error (Printf.sprintf "unknown arch %S" s)
   in
@@ -173,7 +220,35 @@ let platform_of_json j =
         | Some b -> Ok (Some b)
         | None -> Error "\"power_budget\": expected a number")
   in
-  Ok { arch; ambient; power_budget }
+  let* pins =
+    match Json.mem "pins" j with
+    | None -> Ok []
+    | Some _ ->
+        arr_field "pins"
+          (fun item ->
+            let* t = int_field "task" item in
+            match (Json.mem "pe" item, Json.mem "kind" item) with
+            | Some _, None ->
+                let* pe = int_field "pe" item in
+                Ok (t, Constraints.To_pe pe)
+            | None, Some _ ->
+                let* k = int_field "kind" item in
+                Ok (t, Constraints.To_kind k)
+            | _ -> Error "pin wants exactly one of \"pe\" or \"kind\"")
+          j
+  in
+  let* isolation =
+    match Json.mem "isolation" j with
+    | None -> Ok []
+    | Some _ ->
+        arr_field "isolation"
+          (fun item ->
+            let* t = int_field "task" item in
+            let* c = int_field "class" item in
+            Ok (t, c))
+          j
+  in
+  Ok { arch; ambient; power_budget; pins; isolation }
 
 let policy_of_json j =
   match Json.str j with
@@ -277,7 +352,17 @@ let validate_platform (p : platform_spec) =
   (match p.arch with
   | Platform n ->
       if n < 1 then invalid_arg "Campaign: platform needs at least one PE"
+  | Hetero name ->
+      if Option.is_none (Catalog.platform_named name) then
+        invalid_arg
+          (Printf.sprintf "Campaign: unknown platform %S (want one of %s)" name
+             (String.concat ", " (Catalog.platform_names ())))
   | Cosynth -> ());
+  (match p.arch with
+  | Cosynth when p.pins <> [] || p.isolation <> [] ->
+      invalid_arg
+        "Campaign: pins/isolation require the platform or hetero architecture"
+  | _ -> ());
   if not (Float.is_finite p.ambient) then
     invalid_arg "Campaign: ambient must be finite";
   match p.power_budget with
@@ -317,8 +402,21 @@ let n_cells (s : spec) =
 (* Builtin specs *)
 
 let table_graphs = [ Bench 0; Bench 1; Bench 2; Bench 3 ]
-let plat n_pes ambient = { arch = Platform n_pes; ambient; power_budget = None }
-let cosy ambient = { arch = Cosynth; ambient; power_budget = None }
+
+let plat n_pes ambient =
+  {
+    arch = Platform n_pes;
+    ambient;
+    power_budget = None;
+    pins = [];
+    isolation = [];
+  }
+
+let cosy ambient =
+  { arch = Cosynth; ambient; power_budget = None; pins = []; isolation = [] }
+
+let het ?(pins = []) ?(isolation = []) name ambient =
+  { arch = Hetero name; ambient; power_budget = None; pins; isolation }
 
 let builtin = function
   | "table1" ->
@@ -354,6 +452,26 @@ let builtin = function
             [ Policy.Power_aware Policy.Min_task_energy; Policy.Thermal_aware ];
           platforms = [ plat 4 45.0 ];
         }
+  | "hetero" ->
+      (* The heterogeneity gate fixture: a homogeneous control cell, its
+         degenerate typed twin (std4 must reproduce p4's numbers), both
+         mixed builtins, and one constrained cell exercising kind pins
+         plus two criticality classes. *)
+      Some
+        {
+          name = "hetero";
+          graphs = [ Bench 0; Bench 2 ];
+          policies = [ Policy.Baseline; Policy.Thermal_aware ];
+          platforms =
+            [
+              plat 4 45.0;
+              het "std4" 45.0;
+              het "biglittle4" 45.0;
+              het "mixed6" 45.0
+                ~pins:[ (0, Constraints.To_kind 0) ]
+                ~isolation:[ (1, 0); (2, 1) ];
+            ];
+        }
   | "golden" ->
       (* Small and mixed on purpose: one paper benchmark, one generated
          DAG, both platform ambients, one budget-annotated point — the
@@ -373,7 +491,16 @@ let builtin = function
               Policy.Thermal_aware;
             ];
           platforms =
-            [ plat 4 45.0; { arch = Platform 4; ambient = 55.0; power_budget = Some 21.0 } ];
+            [
+              plat 4 45.0;
+              {
+                arch = Platform 4;
+                ambient = 55.0;
+                power_budget = Some 21.0;
+                pins = [];
+                isolation = [];
+              };
+            ];
         }
   | "sweep1k" ->
       (* 18 graphs x 5 policies x 12 platform points = 1080 cells — the
@@ -395,7 +522,7 @@ let builtin = function
         }
   | _ -> None
 
-let builtin_names = [ "table1"; "table2"; "table3"; "golden"; "sweep1k" ]
+let builtin_names = [ "table1"; "table2"; "table3"; "golden"; "hetero"; "sweep1k" ]
 
 (* ------------------------------------------------------------------ *)
 (* Cell execution *)
@@ -413,11 +540,19 @@ let run_cell (c : cell) : result =
   Trace.with_span "campaign.cell" @@ fun () ->
   let graph = graph_of_spec c.graph in
   let package = { Package.default with Package.ambient = c.platform.ambient } in
+  let constraints =
+    { Constraints.pins = c.platform.pins; isolation = c.platform.isolation }
+  in
   let outcome =
     match c.platform.arch with
     | Platform n_pes ->
-        Flow.run_platform ~n_pes ~package ~graph
+        Flow.run_platform ~n_pes ~constraints ~package ~graph
           ~lib:(Catalog.platform_library ()) ~policy:c.policy ()
+    | Hetero name ->
+        (* expand validated the name against the catalog already. *)
+        let platform = Option.get (Catalog.platform_named name) in
+        Flow.run_platform ~platform ~constraints ~package ~graph
+          ~lib:(Catalog.library_for platform) ~policy:c.policy ()
     | Cosynth ->
         Flow.run_cosynthesis ~package ~graph ~lib:(Catalog.default_library ())
           ~policy:c.policy ()

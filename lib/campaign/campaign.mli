@@ -34,6 +34,7 @@
     candidate fail the gate — the CLI maps that to exit 2. *)
 
 module Policy = Tats_sched.Policy
+module Constraints = Tats_sched.Constraints
 
 (** {1 Campaign specs} *)
 
@@ -47,6 +48,10 @@ type graph_spec =
 
 type arch_spec =
   | Platform of int  (** Figure 1(b) fixed architecture with [n] PEs *)
+  | Hetero of string
+      (** a typed, possibly heterogeneous builtin platform by name
+          ({!Tats_techlib.Catalog.platform_named}); scheduled with
+          {!Tats_techlib.Catalog.library_for}'s per-kind WCET columns *)
   | Cosynth  (** Figure 1(a) co-synthesis from the heterogeneous catalogue *)
 
 type platform_spec = {
@@ -56,6 +61,11 @@ type platform_spec = {
       (** W; when set, the cell result records whether total power stayed
           within it ([within_budget]) — an evaluation annotation, not a
           scheduling constraint *)
+  pins : (int * Constraints.pin) list;
+      (** task affinities, forwarded to the scheduler; [Platform]/[Hetero]
+          architectures only *)
+  isolation : (int * int) list;
+      (** task -> criticality class; classes never share a PE *)
 }
 
 type spec = {
@@ -85,8 +95,9 @@ val graph_label : graph_spec -> string
 (** ["Bm1"] / ["gen11x30"] — stable human-readable name. *)
 
 val platform_label : platform_spec -> string
-(** ["p4@45C"] / ["cosynth@45C"], with ["/b<watts>"] appended when a
-    power budget is set. *)
+(** ["p4@45C"] / ["biglittle4@45C"] / ["cosynth@45C"], with ["/b<watts>"]
+    appended when a power budget is set and ["/c<pins>.<classes>"] when
+    constraints are. *)
 
 val cell_label : cell -> string
 (** [<graph>/<policy>/<platform>], e.g. ["Bm1/thermal/p4@45C"] — the
@@ -108,9 +119,11 @@ val builtin : string -> spec option
     Tables 1–3 as campaigns (same axes as
     {!Core.Experiments.table1}-[table3]); ["golden"] is the small mixed
     platform/ambient/budget campaign pinned by
-    [test/goldens/campaign.golden]; ["sweep1k"] is a 1080-cell generated
-    sweep (18 seeded 16-task DAGs x all 5 policies x 12 platform points)
-    — the bench phase's scale workload. *)
+    [test/goldens/campaign.golden]; ["hetero"] is the heterogeneity gate
+    fixture (homogeneous control, degenerate [std4] twin, both mixed
+    builtins, one pinned-and-isolated cell); ["sweep1k"] is a 1080-cell
+    generated sweep (18 seeded 16-task DAGs x all 5 policies x 12
+    platform points) — the bench phase's scale workload. *)
 
 val builtin_names : string list
 

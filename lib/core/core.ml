@@ -22,6 +22,7 @@ module Pe = Tats_techlib.Pe
 module Comm = Tats_techlib.Comm
 module Library = Tats_techlib.Library
 module Catalog = Tats_techlib.Catalog
+module Platform = Tats_techlib.Platform
 module Block = Tats_floorplan.Block
 module Placement = Tats_floorplan.Placement
 module Slicing = Tats_floorplan.Slicing
@@ -38,6 +39,7 @@ module Hotspot = Tats_thermal.Hotspot
 module Inquiry = Tats_thermal.Inquiry
 module Policy = Tats_sched.Policy
 module Schedule = Tats_sched.Schedule
+module Constraints = Tats_sched.Constraints
 module Dc = Tats_sched.Dc
 module List_sched = Tats_sched.List_sched
 module Heft = Tats_sched.Heft

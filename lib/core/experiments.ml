@@ -386,3 +386,116 @@ let campaign_demo () =
   match Tats_campaign.Campaign.builtin "golden" with
   | Some spec -> Tats_campaign.Campaign.collect spec
   | None -> invalid_arg "campaign_demo: builtin golden spec missing"
+
+type hetero_row = {
+  h_platform : string;
+  h_slots : string;
+  h_policy : Policy.t;
+  h_pins : int;
+  h_classes : int;
+  h_makespan : float;
+  h_cell : cell;
+  h_arch_cost : float;
+}
+
+type hetero_demo = {
+  h_bench : string;
+  h_rows : hetero_row list;
+  h_degenerate_identical : bool;
+}
+
+(* "2xbig-core+2xlittle-core" — slot composition in slot order. *)
+let slot_summary p =
+  let module Platform = Tats_techlib.Platform in
+  let counts = Hashtbl.create 4 in
+  let order = ref [] in
+  for slot = 0 to Platform.n_pes p - 1 do
+    let name = (Platform.kind_of_slot p slot).Tats_techlib.Pe.kind_name in
+    match Hashtbl.find_opt counts name with
+    | Some n -> Hashtbl.replace counts name (n + 1)
+    | None ->
+        Hashtbl.add counts name 1;
+        order := name :: !order
+  done;
+  List.rev !order
+  |> List.map (fun name -> Printf.sprintf "%dx%s" (Hashtbl.find counts name) name)
+  |> String.concat "+"
+
+let hetero_scenarios () =
+  let module C = Tats_sched.Constraints in
+  [
+    ("std4", Policy.Baseline, C.empty);
+    ("std4", Policy.Thermal_aware, C.empty);
+    ("biglittle4", Policy.Baseline, C.empty);
+    ("biglittle4", Policy.Thermal_aware, C.empty);
+    ("mixed6", Policy.Baseline, C.empty);
+    ("mixed6", Policy.Thermal_aware, C.empty);
+    (* Constrained cells: a task forced onto the LITTLE cluster, and a
+       three-class criticality partition on the six-core mix. *)
+    ( "biglittle4",
+      Policy.Thermal_aware,
+      { C.pins = [ (0, C.To_kind 1) ]; isolation = [ (1, 0); (2, 1) ] } );
+    ( "mixed6",
+      Policy.Baseline,
+      {
+        C.pins = [ (0, C.To_pe 0); (3, C.To_kind 2) ];
+        isolation = [ (1, 0); (2, 1); (4, 2) ];
+      } );
+  ]
+
+let hetero_demo ?(bench = 0) () =
+  let module Schedule = Tats_sched.Schedule in
+  let module C = Tats_sched.Constraints in
+  let graph = Benchmarks.load bench in
+  let rows =
+    List.map
+      (fun (pname, policy, constraints) ->
+        let platform = Option.get (Catalog.platform_named pname) in
+        let o =
+          Flow.run_platform ~platform ~constraints ~graph
+            ~lib:(Catalog.library_for platform) ~policy ()
+        in
+        {
+          h_platform = pname;
+          h_slots = slot_summary platform;
+          h_policy = policy;
+          h_pins = List.length constraints.C.pins;
+          h_classes =
+            List.length
+              (List.sort_uniq compare (List.map snd constraints.C.isolation));
+          h_makespan = o.Flow.schedule.Schedule.makespan;
+          h_cell = o.Flow.row;
+          h_arch_cost = o.Flow.arch_cost;
+        })
+      (hetero_scenarios ())
+  in
+  (* The tentpole's anchor: the typed single-kind platform must reproduce
+     the historical identical-cores path bit for bit, for every policy. *)
+  let degenerate_identical =
+    let std4 = Option.get (Catalog.platform_named "std4") in
+    let bits = Int64.bits_of_float in
+    List.for_all
+      (fun policy ->
+        let classic =
+          Flow.run_platform ~graph ~lib:(Catalog.platform_library ()) ~policy ()
+        in
+        let typed =
+          Flow.run_platform ~platform:std4 ~graph ~lib:(Catalog.library_for std4)
+            ~policy ()
+        in
+        bits classic.Flow.schedule.Schedule.makespan
+        = bits typed.Flow.schedule.Schedule.makespan
+        && bits classic.Flow.row.Metrics.total_power
+           = bits typed.Flow.row.Metrics.total_power
+        && bits classic.Flow.row.Metrics.max_temp
+           = bits typed.Flow.row.Metrics.max_temp
+        && bits classic.Flow.row.Metrics.avg_temp
+           = bits typed.Flow.row.Metrics.avg_temp
+        && bits classic.Flow.arch_cost = bits typed.Flow.arch_cost)
+      Policy.all
+  in
+  {
+    h_bench = Tats_taskgraph.Graph.name graph;
+    h_rows = rows;
+    h_degenerate_identical = degenerate_identical;
+  }

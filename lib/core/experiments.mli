@@ -137,3 +137,32 @@ val campaign_demo : unit -> Tats_campaign.Campaign.summary
     {!Tats_campaign.Campaign.run} and summarizing its manifest. The
     golden test byte-compares {!Report.campaign_summary} of this
     value. *)
+
+type hetero_row = {
+  h_platform : string;          (** builtin platform name *)
+  h_slots : string;             (** slot composition, e.g. ["2xbig-core+2xlittle-core"] *)
+  h_policy : Policy.t;
+  h_pins : int;                 (** pinned tasks in the cell's constraint spec *)
+  h_classes : int;              (** distinct criticality classes *)
+  h_makespan : float;
+  h_cell : cell;
+  h_arch_cost : float;          (** sum of per-slot kind costs *)
+}
+
+type hetero_demo = {
+  h_bench : string;
+  h_rows : hetero_row list;
+  h_degenerate_identical : bool;
+      (** true iff the typed single-kind ["std4"] platform reproduced the
+          historical identical-cores path bit for bit under all five
+          policies (makespan, power, temperatures, arch cost) *)
+}
+
+val hetero_demo : ?bench:int -> unit -> hetero_demo
+(** Deterministic exercise of the heterogeneous platform flow (default
+    Bm1): every builtin platform under baseline and thermal-aware
+    policies, plus two constrained cells (a task pinned to the LITTLE
+    cluster; a three-class criticality partition on the six-core mix),
+    all via {!Tats_cosynth.Flow.run_platform} with
+    {!Tats_techlib.Catalog.library_for} per-kind WCET columns. The golden
+    test byte-compares {!Report.hetero_demo} of this value. *)

@@ -24,6 +24,7 @@ let all =
     { phase = "online"; alias = Some "online" };
     { phase = "serve"; alias = Some "serve" };
     { phase = "campaign"; alias = Some "campaign" };
+    { phase = "hetero"; alias = Some "hetero" };
     { phase = "observability-overhead"; alias = None };
     { phase = "timings"; alias = None };
   ]

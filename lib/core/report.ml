@@ -266,6 +266,32 @@ let online_demo (d : Experiments.online_demo) =
     d.Experiments.o_rows;
   Buffer.contents buf
 
+let hetero_demo (d : Experiments.hetero_demo) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Heterogeneous platforms — %s, platform flow\n"
+       d.Experiments.h_bench);
+  Buffer.add_string buf
+    "platform    slots                      policy    pins cls   makespan  \
+     tot pow W  max T °C  avg T °C      cost\n";
+  List.iter
+    (fun (r : Experiments.hetero_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-10s  %-25s  %-8s  %4d %3d  %9.4f  %9.4f  %8.4f  %8.4f  %8.1f\n"
+           r.Experiments.h_platform r.Experiments.h_slots
+           (Policy.name r.Experiments.h_policy)
+           r.Experiments.h_pins r.Experiments.h_classes r.Experiments.h_makespan
+           r.Experiments.h_cell.Metrics.total_power
+           r.Experiments.h_cell.Metrics.max_temp
+           r.Experiments.h_cell.Metrics.avg_temp r.Experiments.h_arch_cost))
+    d.Experiments.h_rows;
+  Buffer.add_string buf
+    (Printf.sprintf "degenerate std4 == identical-cores path (all policies): %s\n"
+       (if d.Experiments.h_degenerate_identical then "bit-identical"
+        else "DIVERGED"));
+  Buffer.contents buf
+
 let campaign_summary (s : Tats_campaign.Campaign.summary) =
   let module C = Tats_campaign.Campaign in
   let buf = Buffer.create 2048 in
@@ -296,6 +322,7 @@ let campaign_summary (s : Tats_campaign.Campaign.summary) =
       let arch =
         match c.C.platform.C.arch with
         | C.Platform n_pes -> Printf.sprintf "p%d" n_pes
+        | C.Hetero name -> name
         | C.Cosynth -> "cosynth"
       in
       let budget =

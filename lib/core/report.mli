@@ -34,6 +34,11 @@ val online_demo : Experiments.online_demo -> string
 (** Fixed-format rendering of {!Experiments.online_demo} — the online
     golden (test/goldens/online.golden) byte-compares this string. *)
 
+val hetero_demo : Experiments.hetero_demo -> string
+(** Fixed-format rendering of {!Experiments.hetero_demo} — the
+    heterogeneous-platform golden (test/goldens/hetero.golden)
+    byte-compares this string. *)
+
 val campaign_summary : Tats_campaign.Campaign.summary -> string
 (** Fixed-format rendering of a campaign's cells in expansion order —
     what [tats campaign report] prints and what the campaign golden

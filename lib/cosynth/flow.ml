@@ -1,6 +1,8 @@
 module Graph = Tats_taskgraph.Graph
 module Library = Tats_techlib.Library
 module Pe = Tats_techlib.Pe
+module Platform = Tats_techlib.Platform
+module Constraints = Tats_sched.Constraints
 module Block = Tats_floorplan.Block
 module Placement = Tats_floorplan.Placement
 module Grid = Tats_floorplan.Grid
@@ -86,26 +88,43 @@ let finalize ~leakage ~lib ~hotspot ~arch_cost ~outer ~log schedule placement =
    meets the deadline (see List_sched.run_adaptive) — the paper's "reduce
    the peak temperature ... while meeting real time constraints". The other
    policies run once at their (possibly caller-supplied) weight. *)
-let schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () =
+let schedule_with_policy ?weights ?constraints ~hotspot ~graph ~lib ~insts
+    ~policy () =
   match policy with
   | Policy.Thermal_aware ->
       fst
-        (List_sched.run_adaptive ?base_weights:weights ~hotspot ~graph ~lib
-           ~pes:insts ~policy ())
+        (List_sched.run_adaptive ?base_weights:weights ?constraints ~hotspot
+           ~graph ~lib ~pes:insts ~policy ())
   | Policy.Power_aware _ ->
       (* Power heuristics never stretch the schedule; their weight is only
          ever capped downward to keep the deadline. *)
       fst
-        (List_sched.run_adaptive ?base_weights:weights ~max_multiplier:1.0
-           ~hotspot ~graph ~lib ~pes:insts ~policy ())
+        (List_sched.run_adaptive ?base_weights:weights ?constraints
+           ~max_multiplier:1.0 ~hotspot ~graph ~lib ~pes:insts ~policy ())
   | Policy.Baseline ->
-      List_sched.run ?weights ~hotspot ~graph ~lib ~pes:insts ~policy ()
+      List_sched.run ?weights ?constraints ~hotspot ~graph ~lib ~pes:insts
+        ~policy ()
 
-let run_platform ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
-    ?(leakage = true) ~graph ~lib ~policy () =
-  if Array.length (Library.kinds lib) <> 1 then
-    invalid_arg "Flow.run_platform: the platform library must have one kind";
-  if n_pes < 1 then invalid_arg "Flow.run_platform: need at least one PE";
+(* The library must have one WCET/WCPC column per platform kind (dense ids
+   on both sides, so a length check suffices after Library.check_kinds). *)
+let check_platform_lib ~what ~lib p =
+  if Array.length (Library.kinds lib) <> Platform.n_kinds p then
+    invalid_arg
+      (Printf.sprintf "%s: the library must have one kind per platform kind"
+         what)
+
+let run_platform ?(n_pes = 4) ?platform ?constraints
+    ?(package = Package.default) ?hotspot ?weights ?(leakage = true) ~graph
+    ~lib ~policy () =
+  (match platform with
+  | None ->
+      if Array.length (Library.kinds lib) <> 1 then
+        invalid_arg "Flow.run_platform: the platform library must have one kind";
+      if n_pes < 1 then invalid_arg "Flow.run_platform: need at least one PE"
+  | Some p -> check_platform_lib ~what:"Flow.run_platform" ~lib p);
+  let n_pes =
+    match platform with None -> n_pes | Some p -> Platform.n_pes p
+  in
   (match hotspot with
   | Some h when Hotspot.n_blocks h <> n_pes ->
       invalid_arg "Flow.run_platform: hotspot block count must equal n_pes"
@@ -114,10 +133,19 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
     ~args:
       [ ("pes", Trace.Int n_pes); ("policy", Trace.Str (Policy.name policy)) ]
   @@ fun () ->
-  let insts = Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0)) in
+  let insts =
+    match platform with
+    | None -> Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0))
+    | Some p -> Platform.instances p
+  in
   let log = ref [] in
   let push stage detail = log := { stage; detail } :: !log in
-  push Allocation (Printf.sprintf "fixed platform: %d identical PEs" n_pes);
+  push Allocation
+    (match platform with
+    | None -> Printf.sprintf "fixed platform: %d identical PEs" n_pes
+    | Some p ->
+        Printf.sprintf "typed platform %s: %d PEs, %d kinds" (Platform.name p)
+          n_pes (Platform.n_kinds p));
   let placement, hotspot =
     match hotspot with
     | Some h ->
@@ -128,12 +156,19 @@ let run_platform ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
         push Floorplanning "fixed grid floorplan";
         (placement, Hotspot.create ~package placement)
   in
-  let schedule = schedule_with_policy ?weights ~hotspot ~graph ~lib ~insts ~policy () in
+  let schedule =
+    schedule_with_policy ?weights ?constraints ~hotspot ~graph ~lib ~insts
+      ~policy ()
+  in
   push Scheduling
     (Printf.sprintf "policy %s, makespan %.1f / deadline %.0f" (Policy.name policy)
        schedule.Schedule.makespan (Graph.deadline graph));
   push Thermal_extraction (inquiry_detail hotspot);
-  let arch_cost = float_of_int n_pes *. (Library.kind lib 0).Pe.cost in
+  let arch_cost =
+    match platform with
+    | None -> float_of_int n_pes *. (Library.kind lib 0).Pe.cost
+    | Some p -> Platform.cost p
+  in
   finalize ~leakage ~lib ~hotspot ~arch_cost ~outer:1 ~log:!log schedule placement
 
 type arrival_source = Release_zero | Release_sporadic of int | Release_trace
@@ -154,11 +189,18 @@ type online_outcome = {
    layer, golden demo, bench) goes through here so their numbers
    bit-compare equal. The platform is the exact run_platform facade;
    [hotspot] is the serving layer's engine-sharing hook, as above. *)
-let run_online ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
-    ?(mean_gap = 25.0) ?periods ~arrivals ~graph ~lib ~policy () =
-  if Array.length (Library.kinds lib) <> 1 then
-    invalid_arg "Flow.run_online: the platform library must have one kind";
-  if n_pes < 1 then invalid_arg "Flow.run_online: need at least one PE";
+let run_online ?(n_pes = 4) ?platform ?constraints
+    ?(package = Package.default) ?hotspot ?weights ?(mean_gap = 25.0) ?periods
+    ~arrivals ~graph ~lib ~policy () =
+  (match platform with
+  | None ->
+      if Array.length (Library.kinds lib) <> 1 then
+        invalid_arg "Flow.run_online: the platform library must have one kind";
+      if n_pes < 1 then invalid_arg "Flow.run_online: need at least one PE"
+  | Some p -> check_platform_lib ~what:"Flow.run_online" ~lib p);
+  let n_pes =
+    match platform with None -> n_pes | Some p -> Platform.n_pes p
+  in
   (match hotspot with
   | Some h when Hotspot.n_blocks h <> n_pes ->
       invalid_arg "Flow.run_online: hotspot block count must equal n_pes"
@@ -171,7 +213,11 @@ let run_online ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
         ("arrivals", Trace.Str (arrival_source_name arrivals));
       ]
   @@ fun () ->
-  let insts = Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0)) in
+  let insts =
+    match platform with
+    | None -> Pe.instances (List.init n_pes (fun _ -> Library.kind lib 0))
+    | Some p -> Platform.instances p
+  in
   let hotspot =
     match hotspot with
     | Some h -> h
@@ -185,15 +231,16 @@ let run_online ?(n_pes = 4) ?(package = Package.default) ?hotspot ?weights
         (* Replay a previously observed execution: the offline baseline
            schedule's start times become the release stream. *)
         Online.of_trace
-          (List_sched.run ~graph ~lib ~pes:insts ~policy:Policy.Baseline ())
+          (List_sched.run ?constraints ~graph ~lib ~pes:insts
+             ~policy:Policy.Baseline ())
   in
   let online =
-    Online.run ?weights ~hotspot ~arrivals:release ~graph ~lib ~pes:insts
-      ~policy ()
+    Online.run ?weights ?constraints ~hotspot ~arrivals:release ~graph ~lib
+      ~pes:insts ~policy ()
   in
   let clairvoyant_schedule =
-    Online.clairvoyant ?weights ~hotspot ~arrivals:release ~graph ~lib
-      ~pes:insts
+    Online.clairvoyant ?weights ?constraints ~hotspot ~arrivals:release ~graph
+      ~lib ~pes:insts
       ~policy:(Online.base_policy policy)
       ()
   in

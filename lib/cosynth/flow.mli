@@ -13,6 +13,8 @@
 module Graph = Tats_taskgraph.Graph
 module Library = Tats_techlib.Library
 module Pe = Tats_techlib.Pe
+module Platform = Tats_techlib.Platform
+module Constraints = Tats_sched.Constraints
 module Placement = Tats_floorplan.Placement
 module Ga = Tats_floorplan.Ga
 module Package = Tats_thermal.Package
@@ -44,6 +46,8 @@ type outcome = {
 
 val run_platform :
   ?n_pes:int ->
+  ?platform:Platform.t ->
+  ?constraints:Constraints.spec ->
   ?package:Package.t ->
   ?hotspot:Hotspot.t ->
   ?weights:Policy.weights ->
@@ -53,8 +57,23 @@ val run_platform :
   policy:Policy.t ->
   unit ->
   outcome
-(** Figure 1(b). [lib] must contain exactly one kind (see
-    {!Tats_techlib.Catalog.platform_library}); [n_pes] defaults to 4.
+(** Figure 1(b). Without [platform], [lib] must contain exactly one kind
+    (see {!Tats_techlib.Catalog.platform_library}) and [n_pes] (default 4)
+    identical cores are instantiated — the historical path, bit-identical
+    to every earlier release.
+
+    With [platform], the typed description fixes the PE count and the
+    per-slot kinds ([n_pes] is ignored); [lib] must carry one WCET/WCPC
+    column per platform kind (see {!Tats_techlib.Catalog.library_for}),
+    the thermal blocks take each slot's kind area (per-kind power
+    densities flow into the Steady/Transient models), and the
+    architecture cost is the sum of per-slot kind costs. A single-kind
+    platform reproduces the historical path's numbers exactly.
+
+    [constraints] (pins, isolation — see {!Tats_sched.Constraints}) is
+    forwarded to the scheduler; invalid specs raise
+    {!Tats_sched.Constraints.Invalid}, dead-ends
+    {!Tats_sched.Constraints.Infeasible}.
 
     [hotspot], when supplied, must wrap a placement with exactly [n_pes]
     blocks ([Invalid_argument] otherwise); the flow then schedules against
@@ -86,6 +105,8 @@ type online_outcome = {
 
 val run_online :
   ?n_pes:int ->
+  ?platform:Platform.t ->
+  ?constraints:Constraints.spec ->
   ?package:Package.t ->
   ?hotspot:Hotspot.t ->
   ?weights:Policy.weights ->
@@ -104,7 +125,10 @@ val run_online :
     ([mean_gap] feeds the sporadic generator), run the online event loop,
     run the clairvoyant baseline under the online policy's base DC
     family, and replay-score both ([periods] as in
-    {!Tats_sched.Online.score}). Every consumer — CLI, server, goldens,
+    {!Tats_sched.Online.score}). [platform] and [constraints] behave as in
+    {!run_platform} (typed heterogeneous platforms; pins and isolation
+    apply to the online player, the clairvoyant baseline and the
+    trace-release pre-run alike). Every consumer — CLI, server, goldens,
     bench — assembles the scenario through this function, so their
     numbers bit-compare equal. *)
 

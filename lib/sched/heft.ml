@@ -26,8 +26,19 @@ let insert_interval intervals (s, f) =
   in
   go intervals
 
-let run ~graph ~lib ~pes () =
+let run ?constraints ~graph ~lib ~pes () =
   let n = Graph.n_tasks graph in
+  let checker =
+    match constraints with
+    | Some spec when not (Constraints.is_empty spec) ->
+        Some (Constraints.make spec ~n_tasks:n ~pes)
+    | _ -> None
+  in
+  let admissible task pe =
+    match checker with
+    | None -> true
+    | Some c -> Constraints.admissible c ~task ~pe ~pes
+  in
   let comm = Library.comm lib in
   let rank = upward_rank lib graph in
   let order = Criticality.rank_order rank in
@@ -39,6 +50,7 @@ let run ~graph ~lib ~pes () =
       let best = ref None in
       Array.iteri
         (fun pe (inst : Pe.inst) ->
+          if admissible task pe then begin
           let kind = inst.Pe.kind.Pe.kind_id in
           let wcet = Library.wcet lib ~task_type:tt ~kind in
           let ready =
@@ -61,11 +73,20 @@ let run ~graph ~lib ~pes () =
             | None -> true
             | Some (f', _, _, _) -> finish < f' -. 1e-12
           in
-          if better then best := Some (finish, pe, start, wcet))
+          if better then best := Some (finish, pe, start, wcet)
+          end)
         pes;
       match !best with
-      | None -> assert false
+      | None -> (
+          match checker with
+          | Some _ ->
+              raise
+                (Constraints.Infeasible (Constraints.infeasible_msg "Heft.run"))
+          | None -> assert false)
       | Some (finish, pe, start, _wcet) ->
+          (match checker with
+          | Some c -> Constraints.commit c ~task ~pe
+          | None -> ());
           let kind = pes.(pe).Pe.kind.Pe.kind_id in
           let energy = Library.energy lib ~task_type:tt ~kind in
           entries.(task) <- Some { Schedule.task; pe; start; finish; energy };

@@ -16,6 +16,15 @@ val upward_rank : Library.t -> Graph.t -> float array
     the same quantity {!Dc.static_criticality} computes; exposed under its
     HEFT name for clarity. *)
 
-val run : graph:Graph.t -> lib:Library.t -> pes:Pe.inst array -> unit -> Schedule.t
+val run :
+  ?constraints:Constraints.spec ->
+  graph:Graph.t ->
+  lib:Library.t ->
+  pes:Pe.inst array ->
+  unit ->
+  Schedule.t
 (** Deterministic. The schedule covers every task and is valid by
-    {!Schedule.validate}; it may or may not meet the deadline. *)
+    {!Schedule.validate}; it may or may not meet the deadline.
+    [constraints] behaves as in {!List_sched.run}: pins and isolation
+    enforced per placement, {!Constraints.Invalid} /
+    {!Constraints.Infeasible} on contradiction / dead-end. *)

@@ -44,8 +44,23 @@ let earliest_start st ~comm ~exclusive graph task pe =
   in
   Float.max ready avail
 
-let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~policy () =
+let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ?constraints ~graph
+    ~lib ~pes ~policy () =
   let n = Graph.n_tasks graph in
+  (* The checker is rebuilt per run (it is stateful), and absent entirely
+     for unconstrained runs so the historical code path — float operation
+     order included — is untouched. *)
+  let checker =
+    match constraints with
+    | Some spec when not (Constraints.is_empty spec) ->
+        Some (Constraints.make spec ~n_tasks:n ~pes)
+    | _ -> None
+  in
+  let admissible task pe =
+    match checker with
+    | None -> true
+    | Some c -> Constraints.admissible c ~task ~pe ~pes
+  in
   let weights =
     match weights with
     | Some w -> w
@@ -113,6 +128,7 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
         let tt = (Graph.task graph task).Task.task_type in
         Array.iteri
           (fun pe (inst : Pe.inst) ->
+            if admissible task pe then begin
             let kind = inst.Pe.kind.Pe.kind_id in
             let wcet = Library.wcet lib ~task_type:tt ~kind in
             let task_energy = Library.energy lib ~task_type:tt ~kind in
@@ -147,12 +163,22 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
                   || (Float.abs (dc -. dc') <= 1e-12
                      && (task < task' || (task = task' && pe < pe')))
             in
-            if better then best := Some (dc, task, pe, start, finish, task_energy))
+            if better then best := Some (dc, task, pe, start, finish, task_energy)
+            end)
           pes)
       !ready;
     (match !best with
-    | None -> assert false
+    | None -> (
+        match checker with
+        | Some _ ->
+            raise
+              (Constraints.Infeasible
+                 (Constraints.infeasible_msg "List_sched.run"))
+        | None -> assert false)
     | Some (_, task, pe, start, finish, task_energy) ->
+        (match checker with
+        | Some c -> Constraints.commit c ~task ~pe
+        | None -> ());
         let entry = { Schedule.task; pe; start; finish; energy = task_energy } in
         st.entries.(task) <- Some entry;
         st.pe_tasks.(pe) <- entry :: st.pe_tasks.(pe);
@@ -179,7 +205,7 @@ let run ?weights ?hotspot ?(exclusive = fun _ _ -> false) ~graph ~lib ~pes ~poli
   Schedule.make ~graph ~pes ~entries
 
 let run_adaptive ?base_weights ?(max_multiplier = 400.0) ?(search_steps = 16)
-    ?hotspot ?exclusive ~graph ~lib ~pes ~policy () =
+    ?hotspot ?exclusive ?constraints ~graph ~lib ~pes ~policy () =
   if max_multiplier <= 0.0 then
     invalid_arg "List_sched.run_adaptive: non-positive multiplier";
   let base =
@@ -192,7 +218,7 @@ let run_adaptive ?base_weights ?(max_multiplier = 400.0) ?(search_steps = 16)
     Trace.with_span "sched.attempt" ~args:[ ("multiplier", Trace.Float mult) ]
     @@ fun () ->
     let weights = { Policy.cost_weight = base.Policy.cost_weight *. mult } in
-    (run ~weights ?hotspot ?exclusive ~graph ~lib ~pes ~policy (), weights)
+    (run ~weights ?hotspot ?exclusive ?constraints ~graph ~lib ~pes ~policy (), weights)
   in
   let meets (s, _) = Schedule.meets_deadline s in
   let ceiling = attempt max_multiplier in

@@ -20,6 +20,7 @@ val run :
   ?weights:Policy.weights ->
   ?hotspot:Hotspot.t ->
   ?exclusive:(Task.id -> Task.id -> bool) ->
+  ?constraints:Constraints.spec ->
   graph:Graph.t ->
   lib:Library.t ->
   pes:Pe.inst array ->
@@ -32,6 +33,13 @@ val run :
     [exclusive] enables conditional-task-graph time-sharing: mutually
     exclusive tasks may overlap on one PE.
 
+    [constraints] restricts placements to pinned PEs/kinds and keeps
+    isolation classes on disjoint PEs (see {!Constraints}); a
+    contradictory spec raises {!Constraints.Invalid} before any work, a
+    spec with no admissible candidate at some step raises
+    {!Constraints.Infeasible}. Omitted (or empty), the scheduler is
+    bit-identical to the historical unconstrained path.
+
     The result always covers every task; it may miss the deadline — callers
     (e.g. co-synthesis) decide what to do then. Deterministic. *)
 
@@ -41,6 +49,7 @@ val run_adaptive :
   ?search_steps:int ->
   ?hotspot:Hotspot.t ->
   ?exclusive:(Task.id -> Task.id -> bool) ->
+  ?constraints:Constraints.spec ->
   graph:Graph.t ->
   lib:Library.t ->
   pes:Pe.inst array ->

@@ -200,11 +200,22 @@ let advance_live l ~idle ~time_unit ~intervals ~now =
    permitted start (the arrival trace for both players). With both all
    zero this runs the exact candidate scan, DC arithmetic and tie-breaking
    of List_sched.run — the bit-identity anchor of the test battery. *)
-let plan ?weights ?hotspot ~time_unit ~release ~floor ~graph ~lib ~pes ~policy
-    () =
+let plan ?weights ?hotspot ?constraints ~time_unit ~release ~floor ~graph ~lib
+    ~pes ~policy () =
   let n = Graph.n_tasks graph in
   validate_arrivals graph release;
   validate_arrivals graph floor;
+  let checker =
+    match constraints with
+    | Some spec when not (Constraints.is_empty spec) ->
+        Some (Constraints.make spec ~n_tasks:n ~pes)
+    | _ -> None
+  in
+  let admissible task pe =
+    match checker with
+    | None -> true
+    | Some c -> Constraints.admissible c ~task ~pe ~pes
+  in
   let weights =
     match weights with
     | Some w -> w
@@ -329,6 +340,7 @@ let plan ?weights ?hotspot ~time_unit ~release ~floor ~graph ~lib ~pes ~policy
           let tt = (Graph.task graph task).Task.task_type in
           Array.iteri
             (fun pe (inst : Pe.inst) ->
+              if admissible task pe then begin
               let kind = inst.Pe.kind.Pe.kind_id in
               let wcet = Library.wcet lib ~task_type:tt ~kind in
               let task_energy = Library.energy lib ~task_type:tt ~kind in
@@ -377,11 +389,17 @@ let plan ?weights ?hotspot ~time_unit ~release ~floor ~graph ~lib ~pes ~policy
                     || (Float.abs (dc -. dc') <= 1e-12
                        && (task < task' || (task = task' && pe < pe')))
               in
-              if better then best := Some (dc, task, pe, start, finish, task_energy))
+              if better then best := Some (dc, task, pe, start, finish, task_energy)
+              end)
             pes)
         !ready;
       match !best with
-      | None -> assert false
+      | None -> (
+          match checker with
+          | Some _ ->
+              raise
+                (Constraints.Infeasible (Constraints.infeasible_msg "Online.plan"))
+          | None -> assert false)
       | Some (_, task, pe, start, finish, task_energy) -> (
           match reactive with
           | Some r when all_hot && defers.(task) < r.max_defers ->
@@ -394,6 +412,9 @@ let plan ?weights ?hotspot ~time_unit ~release ~floor ~graph ~lib ~pes ~policy
               incr n_deferrals;
               Metricsreg.incr m_deferrals
           | _ ->
+              (match checker with
+              | Some c -> Constraints.commit c ~task ~pe
+              | None -> ());
               let entry =
                 { Schedule.task; pe; start; finish; energy = task_energy }
               in
@@ -443,8 +464,8 @@ let plan ?weights ?hotspot ~time_unit ~release ~floor ~graph ~lib ~pes ~policy
   in
   (schedule, stats)
 
-let run ?weights ?hotspot ?(time_unit = 1e-3) ~arrivals ~graph ~lib ~pes
-    ~policy () =
+let run ?weights ?hotspot ?constraints ?(time_unit = 1e-3) ~arrivals ~graph
+    ~lib ~pes ~policy () =
   Trace.with_span "online.run"
     ~args:
       [
@@ -454,20 +475,21 @@ let run ?weights ?hotspot ?(time_unit = 1e-3) ~arrivals ~graph ~lib ~pes
       ]
   @@ fun () ->
   let schedule, stats =
-    plan ?weights ?hotspot ~time_unit ~release:arrivals ~floor:arrivals ~graph
-      ~lib ~pes ~policy ()
+    plan ?weights ?hotspot ?constraints ~time_unit ~release:arrivals
+      ~floor:arrivals ~graph ~lib ~pes ~policy ()
   in
   { schedule; arrivals; policy; stats }
 
-let clairvoyant ?weights ?hotspot ~arrivals ~graph ~lib ~pes ~policy () =
+let clairvoyant ?weights ?hotspot ?constraints ~arrivals ~graph ~lib ~pes
+    ~policy () =
   Trace.with_span "online.clairvoyant"
     ~args:[ ("policy", Trace.Str (Policy.name policy)) ]
   @@ fun () ->
   let release = Array.make (Graph.n_tasks graph) 0.0 in
   validate_arrivals graph arrivals;
   let schedule, _ =
-    plan ?weights ?hotspot ~time_unit:1e-3 ~release ~floor:arrivals ~graph ~lib
-      ~pes ~policy:(Mirror policy) ()
+    plan ?weights ?hotspot ?constraints ~time_unit:1e-3 ~release
+      ~floor:arrivals ~graph ~lib ~pes ~policy:(Mirror policy) ()
   in
   schedule
 

@@ -139,6 +139,7 @@ type run = {
 val run :
   ?weights:Policy.weights ->
   ?hotspot:Hotspot.t ->
+  ?constraints:Constraints.spec ->
   ?time_unit:float ->
   arrivals:arrivals ->
   graph:Graph.t ->
@@ -156,11 +157,16 @@ val run :
     time unit) scales the live transient integration between events.
 
     The schedule always satisfies [start >= release] for every task in
-    addition to the {!Schedule.validate} invariants. *)
+    addition to the {!Schedule.validate} invariants.
+
+    [constraints] restricts placements (pins and isolation, see
+    {!Constraints}) exactly as in {!List_sched.run}: absent or empty, the
+    event loop is bit-identical to the historical unconstrained path. *)
 
 val clairvoyant :
   ?weights:Policy.weights ->
   ?hotspot:Hotspot.t ->
+  ?constraints:Constraints.spec ->
   arrivals:arrivals ->
   graph:Graph.t ->
   lib:Library.t ->

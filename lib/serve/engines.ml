@@ -43,6 +43,33 @@ let platform t ~n_pes =
       Hashtbl.add t.table key h;
       h
 
+(* Same facade recipe over a typed platform's slots: per-slot kind areas
+   flow into the block model, so heterogeneous power densities are
+   represented. Fingerprinted by name — builtin platforms are immutable. *)
+let build_typed platform =
+  let insts = Tats_techlib.Platform.instances platform in
+  let blocks =
+    Array.map
+      (fun (i : Pe.inst) ->
+        Block.make
+          ~name:(Printf.sprintf "PE%d_%s" i.Pe.inst_id i.Pe.kind.Pe.kind_name)
+          ~area:i.Pe.kind.Pe.area ())
+      insts
+  in
+  Hotspot.create (Grid.layout blocks)
+
+let typed_platform t platform =
+  let key =
+    Printf.sprintf "platform-name:%s" (Tats_techlib.Platform.name platform)
+  in
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some h -> h
+  | None ->
+      let h = build_typed platform in
+      Hashtbl.add t.table key h;
+      h
+
 let count t = with_lock t @@ fun () -> Hashtbl.length t.table
 
 let fingerprints t =

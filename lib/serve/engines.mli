@@ -38,6 +38,13 @@ val platform : t -> n_pes:int -> Tats_thermal.Hotspot.t
     identical to the facade a fresh
     {!Tats_cosynth.Flow.run_platform} call would create. *)
 
+val typed_platform : t -> Tats_techlib.Platform.t -> Tats_thermal.Hotspot.t
+(** The shared facade for a typed (possibly heterogeneous) platform:
+    one block per slot with the slot kind's area, fingerprinted
+    ["platform-name:<name>"] — numerically identical to the facade
+    {!Tats_cosynth.Flow.run_platform} builds for that platform. Builtin
+    platforms are immutable, so the name identifies the geometry. *)
+
 val count : t -> int
 (** Distinct fingerprints currently warmed. *)
 

@@ -1,5 +1,7 @@
 module Policy = Tats_sched.Policy
 module Online = Tats_sched.Online
+module Constraints = Tats_sched.Constraints
+module Catalog = Tats_techlib.Catalog
 
 type arch = Platform | Cosynth
 
@@ -10,6 +12,9 @@ type schedule_params = {
   policy : Policy.t;
   arch : arch;
   n_pes : int;
+  platform : string option;
+  pins : (int * Constraints.pin) list;
+  isolation : (int * int) list;
 }
 
 type transient_params = {
@@ -40,6 +45,9 @@ type online_params = {
   o_arrivals : online_arrivals;
   o_seed : int;
   o_mean_gap : float;
+  o_platform : string option;
+  o_pins : (int * Constraints.pin) list;
+  o_isolation : (int * int) list;
 }
 
 type kind =
@@ -92,6 +100,102 @@ let req_get obj field extract ~default ~what =
   | Some v -> Ok v
   | None -> field_error field what
 
+(* --- heterogeneous platform specs --------------------------------------- *)
+
+let decode_platform obj =
+  match Json.mem "platform" obj with
+  | None -> Ok None
+  | Some v -> (
+      match Json.str v with
+      | None -> field_error "platform" "must be a string"
+      | Some name ->
+          if Option.is_some (Catalog.platform_named name) then Ok (Some name)
+          else
+            field_error "platform"
+              (Printf.sprintf "unknown platform %S (want %s)" name
+                 (String.concat "|" (Catalog.platform_names ()))))
+
+let nat_field item name =
+  match Option.bind (Json.mem name item) Json.num with
+  | Some f when Float.is_finite f && f >= 0.0 && Float.is_integer f ->
+      Some (int_of_float f)
+  | _ -> None
+
+let decode_pins obj =
+  match Json.mem "pins" obj with
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match
+              (nat_field item "task", nat_field item "pe", nat_field item "kind")
+            with
+            | Some t, Some p, None -> go ((t, Constraints.To_pe p) :: acc) rest
+            | Some t, None, Some k -> go ((t, Constraints.To_kind k) :: acc) rest
+            | _ ->
+                field_error "pins"
+                  "each pin must be {\"task\": int, \"pe\": int} or {\"task\": \
+                   int, \"kind\": int}")
+      in
+      go [] items
+  | Some _ -> field_error "pins" "must be an array of pin objects"
+
+let decode_isolation obj =
+  match Json.mem "isolation" obj with
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match (nat_field item "task", nat_field item "class") with
+            | Some t, Some c -> go ((t, c) :: acc) rest
+            | _ ->
+                field_error "isolation"
+                  "each entry must be {\"task\": int, \"class\": int}")
+      in
+      go [] items
+  | Some _ -> field_error "isolation" "must be an array of class objects"
+
+(* Encoded only when present/non-empty, so requests without the
+   heterogeneity extension keep their historical byte-exact encodings. *)
+let hetero_fields ~platform ~pins ~isolation =
+  (match platform with Some n -> [ ("platform", Json.Str n) ] | None -> [])
+  @ (match pins with
+    | [] -> []
+    | pins ->
+        [
+          ( "pins",
+            Json.Arr
+              (List.map
+                 (fun (t, pin) ->
+                   let t = Json.Num (float_of_int t) in
+                   match pin with
+                   | Constraints.To_pe p ->
+                       Json.Obj
+                         [ ("task", t); ("pe", Json.Num (float_of_int p)) ]
+                   | Constraints.To_kind k ->
+                       Json.Obj
+                         [ ("task", t); ("kind", Json.Num (float_of_int k)) ])
+                 pins) );
+        ])
+  @
+  match isolation with
+  | [] -> []
+  | iso ->
+      [
+        ( "isolation",
+          Json.Arr
+            (List.map
+               (fun (t, c) ->
+                 Json.Obj
+                   [
+                     ("task", Json.Num (float_of_int t));
+                     ("class", Json.Num (float_of_int c));
+                   ])
+               iso) );
+      ]
+
 let decode_schedule obj =
   let* bench_s = req_get obj "bench" Json.get_str ~default:"Bm1" ~what:"must be a string" in
   let* bench = bench_of_name bench_s in
@@ -117,7 +221,15 @@ let decode_schedule obj =
   let* n_pes_f = req_get obj "n_pes" Json.get_num ~default:4.0 ~what:"must be a number" in
   let n_pes = int_of_float n_pes_f in
   if n_pes < 1 || n_pes > 64 then field_error "n_pes" "must be in [1, 64]"
-  else Ok { bench; policy; arch; n_pes }
+  else
+    let* platform = decode_platform obj in
+    let* pins = decode_pins obj in
+    let* isolation = decode_isolation obj in
+    if arch = Cosynth && (platform <> None || pins <> [] || isolation <> [])
+    then
+      field_error "arch"
+        "platform/pins/isolation require the platform architecture"
+    else Ok { bench; policy; arch; n_pes; platform; pins; isolation }
 
 let decode_transient obj =
   let* sched = decode_schedule obj in
@@ -230,7 +342,22 @@ let decode_online obj =
       in
       let o_n_pes = int_of_float n_pes_f in
       if o_n_pes < 1 || o_n_pes > 64 then field_error "n_pes" "must be in [1, 64]"
-      else Ok { o_bench; o_n_pes; o_policy; o_arrivals; o_seed; o_mean_gap }
+      else
+        let* o_platform = decode_platform obj in
+        let* o_pins = decode_pins obj in
+        let* o_isolation = decode_isolation obj in
+        Ok
+          {
+            o_bench;
+            o_n_pes;
+            o_policy;
+            o_arrivals;
+            o_seed;
+            o_mean_gap;
+            o_platform;
+            o_pins;
+            o_isolation;
+          }
 
 let request_of_json json =
   match json with
@@ -299,6 +426,7 @@ let request_to_json { id; deadline_ms; kind } =
         ("arch", Json.Str (arch_name p.arch));
         ("n_pes", Json.Num (float_of_int p.n_pes));
       ]
+      @ hetero_fields ~platform:p.platform ~pins:p.pins ~isolation:p.isolation
     in
     match kind with
     | Ping | Stats | Shutdown -> []
@@ -330,6 +458,8 @@ let request_to_json { id; deadline_ms; kind } =
         @ (match p.o_policy with
           | Online.Reactive r -> [ ("trigger", Json.Num r.Online.trigger) ]
           | Online.Mirror _ -> [])
+        @ hetero_fields ~platform:p.o_platform ~pins:p.o_pins
+            ~isolation:p.o_isolation
   in
   Json.Obj (base @ params)
 

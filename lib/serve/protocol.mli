@@ -9,7 +9,12 @@
                 | "transient" | "online" | "sleep" | "shutdown"
     schedule   := "bench": "Bm1".."Bm4", ["policy": POLICY = "thermal"],
                   ["arch": "platform" | "cosynth" = "platform"],
-                  ["n_pes": int = 4]
+                  ["n_pes": int = 4], HETERO
+    HETERO     := ["platform": "std4" | "biglittle4" | "mixed6"],
+                  ["pins": [{"task": int, "pe": int}
+                           |{"task": int, "kind": int}...]],
+                  ["isolation": [{"task": int, "class": int}...]]
+                  (platform architecture only)
     inquiry    := "power": [num...], ["idle": [num...] = zeros],
                   ["n_pes": int = length of power]
     transient  := schedule params plus ["periods": int = 50], ["dt": num],
@@ -18,7 +23,7 @@
                   ["trigger": num, reactive only],
                   ["arrivals": "zero" | "sporadic" | "trace" = "sporadic"],
                   ["seed": int = 1], ["mean_gap": num = 25],
-                  ["n_pes": int = 4]
+                  ["n_pes": int = 4], HETERO
     sleep      := ["ms": num = 0]          (testing / load-generation aid)
     POLICY     := "baseline" | "h1" | "h2" | "h3" | "thermal"
     OPOLICY    := POLICY | "reactive"
@@ -40,6 +45,7 @@
 
 module Policy = Tats_sched.Policy
 module Online = Tats_sched.Online
+module Constraints = Tats_sched.Constraints
 
 type arch = Platform | Cosynth
 
@@ -52,7 +58,12 @@ type schedule_params = {
   bench : int;  (** benchmark index 0-3 = Bm1-Bm4 *)
   policy : Policy.t;
   arch : arch;
-  n_pes : int;  (** platform width; ignored by [Cosynth] *)
+  n_pes : int;  (** platform width; ignored by [Cosynth] and [platform] *)
+  platform : string option;
+      (** builtin typed platform name ({!Tats_techlib.Catalog.platform_named});
+          overrides [n_pes]; platform architecture only *)
+  pins : (int * Constraints.pin) list;  (** task -> PE/kind affinities *)
+  isolation : (int * int) list;  (** task -> criticality class *)
 }
 
 type transient_params = {
@@ -83,6 +94,9 @@ type online_params = {
   o_arrivals : online_arrivals;
   o_seed : int;  (** sporadic stream seed; ignored by [Zero]/[Trace] *)
   o_mean_gap : float;  (** mean sporadic inter-release gap, time units *)
+  o_platform : string option;  (** builtin typed platform; overrides [o_n_pes] *)
+  o_pins : (int * Constraints.pin) list;
+  o_isolation : (int * int) list;
 }
 
 type kind =

@@ -6,6 +6,7 @@ module Benchmarks = Tats_taskgraph.Benchmarks
 module Catalog = Tats_techlib.Catalog
 module Hotspot = Tats_thermal.Hotspot
 module Policy = Tats_sched.Policy
+module Constraints = Tats_sched.Constraints
 module Schedule = Tats_sched.Schedule
 module Metrics = Tats_sched.Metrics
 module Replay = Tats_sched.Replay
@@ -105,16 +106,36 @@ let prune t conn =
 
 let num_arr a = Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) a))
 
+(* Decode already validated the name against the catalog; a miss here
+   would mean the builtin set changed between decode and dispatch. *)
+let resolve_platform name =
+  match Catalog.platform_named name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "unknown platform %S" name)
+
 let run_flow t (p : Protocol.schedule_params) =
   let graph = Benchmarks.load p.bench in
   match p.arch with
-  | Protocol.Platform ->
-      let lib = Catalog.platform_library () in
-      let hotspot = Engines.platform t.engines ~n_pes:p.n_pes in
-      ( graph,
-        lib,
-        Flow.run_platform ~n_pes:p.n_pes ~hotspot ~graph ~lib ~policy:p.policy
-          () )
+  | Protocol.Platform -> (
+      let constraints =
+        { Constraints.pins = p.pins; isolation = p.isolation }
+      in
+      match p.platform with
+      | None ->
+          let lib = Catalog.platform_library () in
+          let hotspot = Engines.platform t.engines ~n_pes:p.n_pes in
+          ( graph,
+            lib,
+            Flow.run_platform ~n_pes:p.n_pes ~constraints ~hotspot ~graph ~lib
+              ~policy:p.policy () )
+      | Some name ->
+          let platform = resolve_platform name in
+          let lib = Catalog.library_for platform in
+          let hotspot = Engines.typed_platform t.engines platform in
+          ( graph,
+            lib,
+            Flow.run_platform ~platform ~constraints ~hotspot ~graph ~lib
+              ~policy:p.policy () ))
   | Protocol.Cosynth ->
       let lib = Catalog.default_library () in
       (graph, lib, Flow.run_cosynthesis ~graph ~lib ~policy:p.policy ())
@@ -137,6 +158,9 @@ let schedule_payload (p : Protocol.schedule_params) graph (o : Flow.outcome) =
     ("pe_powers", num_arr o.Flow.report.Metrics.pe_powers);
     ("block_temps", num_arr o.Flow.report.Metrics.block_temps);
   ]
+  @ match p.platform with
+    | None -> []
+    | Some name -> [ ("platform", Json.Str name) ]
 
 let uptime t = Unix.gettimeofday () -. t.started
 
@@ -194,8 +218,24 @@ let handle t (req : Protocol.request) =
       ]
   | Protocol.Online p ->
       let graph = Benchmarks.load p.Protocol.o_bench in
-      let lib = Catalog.platform_library () in
-      let hotspot = Engines.platform t.engines ~n_pes:p.Protocol.o_n_pes in
+      let constraints =
+        {
+          Constraints.pins = p.Protocol.o_pins;
+          isolation = p.Protocol.o_isolation;
+        }
+      in
+      let platform, lib, hotspot =
+        match p.Protocol.o_platform with
+        | None ->
+            ( None,
+              Catalog.platform_library (),
+              Engines.platform t.engines ~n_pes:p.Protocol.o_n_pes )
+        | Some name ->
+            let platform = resolve_platform name in
+            ( Some platform,
+              Catalog.library_for platform,
+              Engines.typed_platform t.engines platform )
+      in
       let arrivals =
         match p.Protocol.o_arrivals with
         | Protocol.Zero -> Flow.Release_zero
@@ -203,8 +243,8 @@ let handle t (req : Protocol.request) =
         | Protocol.Trace -> Flow.Release_trace
       in
       let o =
-        Flow.run_online ~n_pes:p.Protocol.o_n_pes ~hotspot
-          ~mean_gap:p.Protocol.o_mean_gap ~arrivals ~graph ~lib
+        Flow.run_online ~n_pes:p.Protocol.o_n_pes ?platform ~constraints
+          ~hotspot ~mean_gap:p.Protocol.o_mean_gap ~arrivals ~graph ~lib
           ~policy:p.Protocol.o_policy ()
       in
       let s = o.Flow.online.Online.schedule in
@@ -234,6 +274,9 @@ let handle t (req : Protocol.request) =
         ("mimicked_makespan", Json.Bool sc.Online.mimicked_makespan);
         ("mimicked_peak", Json.Bool sc.Online.mimicked_peak);
       ]
+      @ (match p.Protocol.o_platform with
+        | None -> []
+        | Some name -> [ ("platform", Json.Str name) ])
   | Protocol.Transient tp ->
       let graph, lib, o = run_flow t tp.Protocol.sched in
       let profile =
@@ -265,6 +308,11 @@ let execute t (job : job) =
         Protocol.ok_reply ?id:req.Protocol.id
           ~kind:(Protocol.kind_name req.Protocol.kind)
           payload
+    (* Constraint problems are the client's spec, not server failures. *)
+    | exception Constraints.Invalid msg ->
+        Protocol.error_reply ?id:req.Protocol.id Protocol.Bad_request msg
+    | exception Constraints.Infeasible msg ->
+        Protocol.error_reply ?id:req.Protocol.id Protocol.Bad_request msg
     | exception e ->
         Protocol.error_reply ?id:req.Protocol.id Protocol.Internal
           (Printexc.to_string e)

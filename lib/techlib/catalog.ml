@@ -30,6 +30,46 @@ let platform_kind () =
 let platform_instances n =
   Pe.instances (List.init n (fun _ -> platform_kind ()))
 
+(* Builtin typed platforms for the heterogeneous platform flow. Kind ids
+   are dense per platform (a Platform.make requirement), so the big/LITTLE
+   kinds below renumber the catalogue entries they mirror. *)
+
+let big_kind ~kind_id =
+  Pe.make_kind ~kind_id ~name:"big-core" ~area:(mm2 25.0) ~cost:260.0
+    ~speed:1.7 ~power_scale:16.0 ~idle_power:1.2 ()
+
+let little_kind ~kind_id =
+  Pe.make_kind ~kind_id ~name:"little-core" ~area:(mm2 9.0) ~cost:80.0
+    ~speed:0.4 ~power_scale:3.6 ~idle_power:0.3 ()
+
+let builtin_platforms () =
+  [
+    (* The degenerate case: the paper's four identical standard cores as a
+       typed platform. Must reproduce Tables 1-3 byte for byte. *)
+    Platform.homogeneous ~name:"std4" ~kind:(platform_kind ()) ~n_pes:4;
+    (* ARM big.LITTLE-style: two fast/hot cores plus two slow/cool ones. *)
+    Platform.make ~name:"biglittle4"
+      ~kinds:[ big_kind ~kind_id:0; little_kind ~kind_id:1 ]
+      ~slots:[ 0; 0; 1; 1 ];
+    (* A wider mix: one big, two standard, three little. *)
+    Platform.make ~name:"mixed6"
+      ~kinds:
+        [
+          big_kind ~kind_id:0;
+          Pe.make_kind ~kind_id:1 ~name:"std-core" ~area:(mm2 16.0) ~cost:100.0
+            ~speed:1.0 ~power_scale:8.0 ~idle_power:0.6 ();
+          little_kind ~kind_id:2;
+        ]
+      ~slots:[ 0; 1; 1; 2; 2; 2 ];
+  ]
+
+let platform_named name =
+  List.find_opt
+    (fun p -> String.equal (Platform.name p) name)
+    (builtin_platforms ())
+
+let platform_names () = List.map Platform.name (builtin_platforms ())
+
 let library_seed = 77
 
 let default_library () =
@@ -41,3 +81,12 @@ let platform_library () =
   Library.generate ~seed:library_seed
     ~n_task_types:Tats_taskgraph.Benchmarks.n_task_types
     ~kinds:[ platform_kind () ] ()
+
+let library_for platform =
+  (* Same seed and task types as [platform_library]; for the single
+     standard-kind platform the RNG draw sequence is identical, so the
+     generated tables are bit-identical to [platform_library ()]. *)
+  Library.generate ~seed:library_seed
+    ~n_task_types:Tats_taskgraph.Benchmarks.n_task_types
+    ~kinds:(Array.to_list (Platform.kinds platform))
+    ()

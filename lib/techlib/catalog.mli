@@ -21,3 +21,26 @@ val default_library : unit -> Library.t
 
 val platform_library : unit -> Library.t
 (** Same task types and seed, restricted to the platform kind (kind_id 0). *)
+
+(** {1 Typed builtin platforms} *)
+
+val builtin_platforms : unit -> Platform.t list
+(** The named platforms accepted by the CLI, the server protocol and the
+    campaign runner:
+
+    - ["std4"] — four identical standard cores (the degenerate case; its
+      library is bit-identical to {!platform_library}).
+    - ["biglittle4"] — two big cores (fast, hot) + two LITTLE cores
+      (slow, cool), ARM big.LITTLE style.
+    - ["mixed6"] — one big, two standard, three LITTLE cores. *)
+
+val platform_named : string -> Platform.t option
+(** Look a builtin platform up by name. *)
+
+val platform_names : unit -> string list
+(** Names of {!builtin_platforms}, in order. *)
+
+val library_for : Platform.t -> Library.t
+(** The technology library for a typed platform: the shared seed and task
+    types, with one column per platform kind. For ["std4"] this is
+    bit-identical to {!platform_library}. *)

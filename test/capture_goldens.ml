@@ -27,6 +27,13 @@
 
      dune exec test/capture_goldens.exe -- campaign > test/goldens/campaign.golden
 
+   With the argument [hetero], prints the heterogeneous-platform summary
+   (captured when typed platforms landed; the degenerate std4 rows and
+   the trailing bit-identity line double as the proof that the typed
+   flow did not perturb the historical path):
+
+     dune exec test/capture_goldens.exe -- hetero > test/goldens/hetero.golden
+
    Only regenerate a golden when a change is *meant* to move the
    numbers (new benchmarks, model changes) — never to paper over a
    kernel regression. *)
@@ -54,12 +61,16 @@ let capture_online () =
 let capture_campaign () =
   print_string (Core.Report.campaign_summary (Core.Experiments.campaign_demo ()))
 
+let capture_hetero () =
+  print_string (Core.Report.hetero_demo (Core.Experiments.hetero_demo ()))
+
 let () =
   match Sys.argv with
   | [| _ |] -> capture_tables ()
   | [| _; "transient" |] -> capture_transient ()
   | [| _; "online" |] -> capture_online ()
   | [| _; "campaign" |] -> capture_campaign ()
+  | [| _; "hetero" |] -> capture_hetero ()
   | _ ->
-      prerr_endline "usage: capture_goldens [transient|online|campaign]";
+      prerr_endline "usage: capture_goldens [transient|online|campaign|hetero]";
       exit 2

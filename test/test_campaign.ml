@@ -76,8 +76,20 @@ let small_spec =
     policies = [ Policy.Baseline; Policy.Thermal_aware ];
     platforms =
       [
-        { Campaign.arch = Platform 4; ambient = 45.0; power_budget = None };
-        { Campaign.arch = Platform 2; ambient = 55.0; power_budget = Some 20.0 };
+        {
+          Campaign.arch = Platform 4;
+          ambient = 45.0;
+          power_budget = None;
+          pins = [];
+          isolation = [];
+        };
+        {
+          Campaign.arch = Platform 2;
+          ambient = 55.0;
+          power_budget = Some 20.0;
+          pins = [];
+          isolation = [];
+        };
       ];
   }
 
@@ -109,6 +121,8 @@ let test_expansion_deterministic_duplicate_free () =
               Campaign.arch = Platform (2 + (seed mod 3));
               ambient = 35.0 +. float_of_int (seed mod 4);
               power_budget = (if seed mod 2 = 0 then None else Some 25.0);
+              pins = [];
+              isolation = [];
             };
           ];
       }
@@ -321,7 +335,13 @@ let test_run_cell_matches_direct_flow () =
       Campaign.graph = Campaign.Bench 0;
       policy = Policy.Thermal_aware;
       platform =
-        { Campaign.arch = Platform 2; ambient = 55.0; power_budget = Some 20.0 };
+        {
+          Campaign.arch = Platform 2;
+          ambient = 55.0;
+          power_budget = Some 20.0;
+          pins = [];
+          isolation = [];
+        };
     }
   in
   let r = Campaign.run_cell cell in

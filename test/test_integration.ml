@@ -227,6 +227,17 @@ let test_campaign_matches_golden () =
   check_against_golden ~what:"campaign summary" ~basename:"campaign.golden"
     (Core.Report.campaign_summary (Core.Experiments.campaign_demo ()))
 
+let test_hetero_matches_golden () =
+  (* And for the heterogeneous-platform layer: every builtin platform under
+     two policies plus two constrained cells, rendered row by row, byte for
+     byte. The trailing line pins the tentpole's anchor — the typed
+     single-kind std4 platform must stay bit-identical to the historical
+     identical-cores flow under all five policies. Regenerate (only for
+     intentional number changes) with:
+       dune exec test/capture_goldens.exe -- hetero > test/goldens/hetero.golden *)
+  check_against_golden ~what:"hetero platform numbers" ~basename:"hetero.golden"
+    (Core.Report.hetero_demo (Core.Experiments.hetero_demo ()))
+
 let test_csv_exports_match_tables () =
   let csv = Core.Report.table1_csv (Lazy.force table1) in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -251,6 +262,8 @@ let () =
             test_online_matches_golden;
           Alcotest.test_case "campaign matches golden" `Quick
             test_campaign_matches_golden;
+          Alcotest.test_case "hetero matches golden" `Quick
+            test_hetero_matches_golden;
           Alcotest.test_case "csv export" `Quick test_csv_exports_match_tables;
         ] );
       ( "figure1",

@@ -40,6 +40,26 @@ let rand_string max_len =
 
 let policy name = Option.get (Policy.of_name name)
 
+(* Record-literal helpers: the heterogeneity extension fields default to
+   absent/empty, exactly like requests that never mention them. *)
+let sched_params ?platform ?(pins = []) ?(isolation = []) bench pname arch
+    n_pes =
+  { Protocol.bench; policy = policy pname; arch; n_pes; platform; pins; isolation }
+
+let online_params ?platform ?(pins = []) ?(isolation = []) ~policy:o_policy
+    ~arrivals:o_arrivals ~seed:o_seed ~mean_gap:o_mean_gap o_bench o_n_pes =
+  {
+    Protocol.o_bench;
+    o_n_pes;
+    o_policy;
+    o_arrivals;
+    o_seed;
+    o_mean_gap;
+    o_platform = platform;
+    o_pins = pins;
+    o_isolation = isolation;
+  }
+
 let ok_or_fail what = function
   | Ok v -> v
   | Error msg -> Alcotest.failf "%s: %s" what msg
@@ -226,21 +246,28 @@ let test_protocol_roundtrip () =
       Protocol.request ~deadline_ms:5.0 Protocol.Shutdown;
       Protocol.request (Protocol.Sleep 0.25);
       Protocol.request ~id:(Json.Num 7.0)
+        (Protocol.Schedule (sched_params 2 "h2" Protocol.Platform 6));
+      Protocol.request
+        (Protocol.Schedule (sched_params 0 "thermal" Protocol.Cosynth 4));
+      (* Heterogeneous platform requests: every extension field must
+         survive the encode/decode round trip. *)
+      Protocol.request ~id:(Json.Str "het")
         (Protocol.Schedule
-           {
-             Protocol.bench = 2;
-             policy = policy "h2";
-             arch = Protocol.Platform;
-             n_pes = 6;
-           });
+           (sched_params ~platform:"biglittle4"
+              ~pins:
+                [
+                  (0, Protocol.Constraints.To_pe 1);
+                  (3, Protocol.Constraints.To_kind 1);
+                ]
+              ~isolation:[ (2, 0); (5, 1) ]
+              1 "thermal" Protocol.Platform 4));
       Protocol.request
         (Protocol.Schedule
-           {
-             Protocol.bench = 0;
-             policy = policy "thermal";
-             arch = Protocol.Cosynth;
-             n_pes = 4;
-           });
+           (sched_params ~platform:"mixed6" 0 "h1" Protocol.Platform 4));
+      Protocol.request
+        (Protocol.Schedule
+           (sched_params ~isolation:[ (0, 0); (1, 1); (2, 2) ] 0 "baseline"
+              Protocol.Platform 4));
       Protocol.request
         (Protocol.Inquiry
            {
@@ -251,49 +278,46 @@ let test_protocol_roundtrip () =
       Protocol.request
         (Protocol.Transient
            {
-             Protocol.sched =
-               {
-                 Protocol.bench = 1;
-                 policy = policy "baseline";
-                 arch = Protocol.Platform;
-                 n_pes = 4;
-               };
+             Protocol.sched = sched_params 1 "baseline" Protocol.Platform 4;
              periods = 10;
              dt = Some 0.0005;
              time_unit = 1e-3;
              exact = true;
            });
+      Protocol.request
+        (Protocol.Transient
+           {
+             Protocol.sched =
+               sched_params ~platform:"std4"
+                 ~pins:[ (1, Protocol.Constraints.To_pe 0) ]
+                 0 "thermal" Protocol.Platform 4;
+             periods = 10;
+             dt = None;
+             time_unit = 1e-3;
+             exact = false;
+           });
       Protocol.request ~id:(Json.Str "o1")
         (Protocol.Online
-           {
-             Protocol.o_bench = 0;
-             o_n_pes = 4;
-             o_policy = Online.Mirror (policy "thermal");
-             o_arrivals = Protocol.Zero;
-             o_seed = 1;
-             o_mean_gap = 25.0;
-           });
+           (online_params ~policy:(Online.Mirror (policy "thermal"))
+              ~arrivals:Protocol.Zero ~seed:1 ~mean_gap:25.0 0 4));
       Protocol.request
         (Protocol.Online
-           {
-             Protocol.o_bench = 2;
-             o_n_pes = 6;
-             o_policy =
-               Online.Reactive { Online.default_reactive with Online.trigger = 50.0 };
-             o_arrivals = Protocol.Sporadic;
-             o_seed = 42;
-             o_mean_gap = 12.5;
-           });
+           (online_params
+              ~policy:
+                (Online.Reactive
+                   { Online.default_reactive with Online.trigger = 50.0 })
+              ~arrivals:Protocol.Sporadic ~seed:42 ~mean_gap:12.5 2 6));
       Protocol.request
         (Protocol.Online
-           {
-             Protocol.o_bench = 1;
-             o_n_pes = 4;
-             o_policy = Online.Mirror (policy "baseline");
-             o_arrivals = Protocol.Trace;
-             o_seed = 0;
-             o_mean_gap = 25.0;
-           });
+           (online_params ~policy:(Online.Mirror (policy "baseline"))
+              ~arrivals:Protocol.Trace ~seed:0 ~mean_gap:25.0 1 4));
+      Protocol.request
+        (Protocol.Online
+           (online_params ~platform:"biglittle4"
+              ~pins:[ (2, Protocol.Constraints.To_kind 1) ]
+              ~isolation:[ (0, 0); (4, 1) ]
+              ~policy:(Online.Mirror (policy "thermal"))
+              ~arrivals:Protocol.Sporadic ~seed:7 ~mean_gap:20.0 0 4));
     ]
   in
   List.iter
@@ -303,7 +327,28 @@ let test_protocol_roundtrip () =
       Alcotest.(check bool)
         ("roundtrip " ^ Json.to_string json)
         true (req = req'))
-    reqs
+    reqs;
+  (* Requests that never mention the heterogeneity extension must encode
+     without its fields — old clients and goldens stay byte-stable. *)
+  let plain =
+    Json.to_string
+      (Protocol.request_to_json
+         (Protocol.request
+            (Protocol.Schedule (sched_params 2 "h2" Protocol.Platform 6))))
+  in
+  List.iter
+    (fun field ->
+      (* Key position only: the arch *value* "platform" is legitimate. *)
+      let re = Printf.sprintf "\"%s\":" field in
+      Alcotest.(check bool)
+        (Printf.sprintf "plain encoding omits %s" field)
+        false
+        (let len = String.length plain and flen = String.length re in
+         let rec has i =
+           i + flen <= len && (String.sub plain i flen = re || has (i + 1))
+         in
+         has 0))
+    [ "platform"; "pins"; "isolation" ]
 
 let test_protocol_rejects () =
   let bad =
@@ -338,6 +383,21 @@ let test_protocol_rejects () =
       {|{"kind": "online", "mean_gap": 0}|};
       {|{"kind": "online", "n_pes": 0}|};
       {|{"kind": "online", "n_pes": 65}|};
+      {|{"kind": "schedule", "platform": "warp9"}|};
+      {|{"kind": "schedule", "platform": 4}|};
+      {|{"kind": "schedule", "arch": "cosynth", "platform": "std4"}|};
+      {|{"kind": "schedule", "arch": "cosynth", "pins": [{"task": 0, "pe": 1}]}|};
+      {|{"kind": "schedule", "arch": "cosynth", "isolation": [{"task": 0, "class": 0}]}|};
+      {|{"kind": "schedule", "pins": [{"task": 0}]}|};
+      {|{"kind": "schedule", "pins": [{"task": 0, "pe": 1, "kind": 1}]}|};
+      {|{"kind": "schedule", "pins": [{"task": -1, "pe": 1}]}|};
+      {|{"kind": "schedule", "pins": [{"task": 0.5, "pe": 1}]}|};
+      {|{"kind": "schedule", "pins": 7}|};
+      {|{"kind": "schedule", "isolation": [{"task": 0}]}|};
+      {|{"kind": "schedule", "isolation": [{"task": 0, "class": -2}]}|};
+      {|{"kind": "schedule", "isolation": "none"}|};
+      {|{"kind": "online", "platform": "warp9"}|};
+      {|{"kind": "online", "pins": [{"pe": 1}]}|};
     ]
   in
   List.iter
@@ -474,12 +534,7 @@ let test_concurrent_bit_identity () =
                  Client.request c
                    (Protocol.request
                       (Protocol.Schedule
-                         {
-                           Protocol.bench;
-                           policy = policy pname;
-                           arch = Protocol.Platform;
-                           n_pes = 4;
-                         }))
+                         (sched_params bench pname Protocol.Platform 4)))
                with e -> Error (Printexc.to_string e)))
           ())
       cases
@@ -548,13 +603,7 @@ let test_transient_bit_identity () =
          (Protocol.request
             (Protocol.Transient
                {
-                 Protocol.sched =
-                   {
-                     Protocol.bench = 0;
-                     policy = policy "thermal";
-                     arch = Protocol.Platform;
-                     n_pes = 4;
-                   };
+                 Protocol.sched = sched_params 0 "thermal" Protocol.Platform 4;
                  periods = 10;
                  dt = None;
                  time_unit = 1e-3;
@@ -577,14 +626,8 @@ let test_online_bit_identity () =
       (Client.request c
          (Protocol.request
             (Protocol.Online
-               {
-                 Protocol.o_bench = 0;
-                 o_n_pes = 4;
-                 o_policy;
-                 o_arrivals;
-                 o_seed;
-                 o_mean_gap = 25.0;
-               })))
+               (online_params ~policy:o_policy ~arrivals:o_arrivals
+                  ~seed:o_seed ~mean_gap:25.0 0 4))))
   in
   Client.with_client path @@ fun c ->
   (* Sporadic stream under the reactive policy: every scored number the
@@ -632,6 +675,64 @@ let test_online_bit_identity () =
   check_bits "zero makespan_ratio" (get_num zero "makespan_ratio") 1.0;
   check_bits "zero peak_ratio" (get_num zero "peak_ratio") 1.0
 
+let test_served_hetero_schedule () =
+  let path = "t_serve_hetero.sock" in
+  with_server path @@ fun _server ->
+  Client.with_client path @@ fun c ->
+  (* A heterogeneous request served through the engine registry must be
+     bitwise the library's own answer. *)
+  let pins = [ (0, Protocol.Constraints.To_kind 1) ] in
+  let isolation = [ (1, 0); (2, 1) ] in
+  let reply =
+    ok_or_fail "hetero schedule"
+      (Client.request c
+         (Protocol.request
+            (Protocol.Schedule
+               (sched_params ~platform:"biglittle4" ~pins ~isolation 0
+                  "thermal" Protocol.Platform 4))))
+  in
+  Alcotest.(check bool) "hetero ok" true (Protocol.reply_ok reply);
+  Alcotest.(check bool)
+    "payload names the platform" true
+    (Json.mem "platform" reply = Some (Json.Str "biglittle4"));
+  let platform = Option.get (Catalog.platform_named "biglittle4") in
+  let graph = Benchmarks.load 0 in
+  let lib = Catalog.library_for platform in
+  let o =
+    Flow.run_platform ~platform
+      ~constraints:{ Flow.Constraints.pins; isolation }
+      ~graph ~lib ~policy:(policy "thermal") ()
+  in
+  check_bits "hetero makespan"
+    (get_num reply "makespan")
+    o.Flow.schedule.Schedule.makespan;
+  check_bits "hetero max_temp"
+    (get_num reply "max_temp")
+    o.Flow.row.Metrics.max_temp;
+  check_bits "hetero arch_cost" (get_num reply "arch_cost") o.Flow.arch_cost;
+  check_bits_arr "hetero pe_powers"
+    (get_farr reply "pe_powers")
+    o.Flow.report.Metrics.pe_powers;
+  (* Statically impossible constraints are the client's fault: a clean
+     bad_request naming the problem, never an internal error or a crash. *)
+  let infeasible =
+    ok_or_fail "infeasible schedule"
+      (Client.request c
+         (Protocol.request
+            (Protocol.Schedule
+               (sched_params
+                  ~isolation:[ (0, 0); (1, 1); (2, 2); (3, 3); (4, 4) ]
+                  0 "thermal" Protocol.Platform 4))))
+  in
+  Alcotest.(check string) "infeasible code" "bad_request"
+    (error_code infeasible);
+  (* And the server is still healthy afterwards. *)
+  let ping =
+    ok_or_fail "ping after rejection"
+      (Client.request c (Protocol.request Protocol.Ping))
+  in
+  Alcotest.(check bool) "still up" true (Protocol.reply_ok ping)
+
 let test_deadline_expiry () =
   let path = "t_serve_deadline.sock" in
   with_server ~config:{ Server.default_config with Server.batch_max = 1 } path
@@ -676,14 +777,9 @@ let test_online_deadline_expiry () =
       (Client.request c
          (Protocol.request ~deadline_ms:1.0
             (Protocol.Online
-               {
-                 Protocol.o_bench = 0;
-                 o_n_pes = 4;
-                 o_policy = Online.Reactive Online.default_reactive;
-                 o_arrivals = Protocol.Sporadic;
-                 o_seed = 1;
-                 o_mean_gap = 25.0;
-               })))
+               (online_params
+                  ~policy:(Online.Reactive Online.default_reactive)
+                  ~arrivals:Protocol.Sporadic ~seed:1 ~mean_gap:25.0 0 4))))
   in
   Thread.join sleeper;
   Alcotest.(check string) "deadline code" "deadline" (error_code reply)
@@ -785,13 +881,7 @@ let test_tatsd_binary () =
     ok_or_fail "schedule"
       (Client.request c
          (Protocol.request
-            (Protocol.Schedule
-               {
-                 Protocol.bench = 0;
-                 policy = policy "thermal";
-                 arch = Protocol.Platform;
-                 n_pes = 4;
-               })))
+            (Protocol.Schedule (sched_params 0 "thermal" Protocol.Platform 4))))
   in
   Alcotest.(check bool) "tatsd schedules" true (Protocol.reply_ok sched);
   let bye =
@@ -854,6 +944,8 @@ let () =
             test_transient_bit_identity;
           Alcotest.test_case "online bit-identity" `Slow
             test_online_bit_identity;
+          Alcotest.test_case "hetero schedule bit-identity" `Slow
+            test_served_hetero_schedule;
           Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
           Alcotest.test_case "online deadline expiry" `Quick
             test_online_deadline_expiry;
